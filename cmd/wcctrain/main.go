@@ -1,0 +1,211 @@
+// Command wcctrain trains a single baseline with explicit hyper-parameters
+// and prints accuracy plus a per-class report — the interactive counterpart
+// to wccbench's full table runs.
+//
+// Usage:
+//
+//	wcctrain -model rf -features cov -dataset 60-middle-1 -trees 100
+//	wcctrain -model svm -features pca -pca-dim 64 -C 10
+//	wcctrain -model xgb -features cov -rounds 40 -gamma 0.5
+//	wcctrain -model lstm -hidden 32 -epochs 10 -stride 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/forest"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/svm"
+	"repro/internal/telemetry"
+	"repro/internal/xgb"
+)
+
+func main() {
+	var (
+		model    = flag.String("model", "rf", "rf, svm, linear-svm, xgb, lstm, lstm2, cnnlstm")
+		features = flag.String("features", "cov", "cov or pca (classical models only)")
+		dsName   = flag.String("dataset", "60-middle-1", "challenge dataset name")
+		scale    = flag.Float64("scale", 0.15, "generation scale")
+		seed     = flag.Int64("seed", 1, "seed")
+		maxTrain = flag.Int("max-train", 800, "training trials cap (0 = all)")
+		maxTest  = flag.Int("max-test", 400, "test trials cap (0 = all)")
+		report   = flag.Bool("report", false, "print the per-class report")
+
+		pcaDim = flag.Int("pca-dim", 64, "PCA dimensions")
+		cVal   = flag.Float64("C", 1, "SVM regularisation")
+		trees  = flag.Int("trees", 100, "forest size")
+		rounds = flag.Int("rounds", 40, "boosting rounds")
+		gamma  = flag.Float64("gamma", 0, "XGBoost gamma")
+		lambda = flag.Float64("lambda", 1, "XGBoost lambda")
+		alpha  = flag.Float64("alpha", 0, "XGBoost alpha")
+
+		hidden = flag.Int("hidden", 32, "LSTM hidden size")
+		epochs = flag.Int("epochs", 10, "training epochs")
+		stride = flag.Int("stride", 10, "sequence downsampling stride")
+	)
+	flag.Parse()
+
+	if err := run(opts{
+		model: *model, features: *features, dsName: *dsName, scale: *scale,
+		seed: *seed, maxTrain: *maxTrain, maxTest: *maxTest, report: *report,
+		pcaDim: *pcaDim, c: *cVal, trees: *trees, rounds: *rounds,
+		gamma: *gamma, lambda: *lambda, alpha: *alpha,
+		hidden: *hidden, epochs: *epochs, stride: *stride,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "wcctrain:", err)
+		os.Exit(1)
+	}
+}
+
+type opts struct {
+	model, features, dsName string
+	scale                   float64
+	seed                    int64
+	maxTrain, maxTest       int
+	report                  bool
+	pcaDim, trees, rounds   int
+	c, gamma, lambda, alpha float64
+	hidden, epochs, stride  int
+}
+
+func run(o opts) error {
+	spec, ok := dataset.SpecByName(o.dsName)
+	if !ok {
+		return fmt.Errorf("unknown dataset %q", o.dsName)
+	}
+	sim, err := telemetry.NewSimulator(telemetry.Config{Seed: o.seed, Scale: o.scale, GapRate: 1})
+	if err != nil {
+		return err
+	}
+	p := core.PresetScaled()
+	p.Seed = o.seed
+	p.MaxTrain = o.maxTrain
+	p.MaxTest = o.maxTest
+	ch, err := core.BuildDataset(sim, spec, p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset %s: %d train / %d test trials\n", o.dsName, ch.Train.Len(), ch.Test.Len())
+	numClasses := int(telemetry.NumClasses)
+
+	var pred []int
+	var testY []int
+
+	switch o.model {
+	case "rf", "svm", "linear-svm", "xgb":
+		var fp *core.FeaturePair
+		switch o.features {
+		case "cov":
+			fp, err = core.CovFeatures(ch)
+		case "pca":
+			fp, err = core.PCAFeatures(ch, o.pcaDim, o.seed)
+		default:
+			return fmt.Errorf("unknown features %q", o.features)
+		}
+		if err != nil {
+			return err
+		}
+		testY = fp.TestY
+		switch o.model {
+		case "rf":
+			m := forest.New(forest.Config{NumTrees: o.trees, Bootstrap: true, Seed: o.seed})
+			if err := m.Fit(fp.TrainX, fp.TrainY, numClasses); err != nil {
+				return err
+			}
+			if pred, err = m.Predict(fp.TestX); err != nil {
+				return err
+			}
+		case "svm":
+			m := svm.New(svm.Config{C: o.c, Seed: o.seed})
+			if err := m.Fit(fp.TrainX, fp.TrainY); err != nil {
+				return err
+			}
+			if pred, err = m.Predict(fp.TestX); err != nil {
+				return err
+			}
+		case "linear-svm":
+			m := svm.NewLinear(svm.LinearConfig{C: o.c, Epochs: 100, Tol: 1e-4, Seed: o.seed})
+			if err := m.Fit(fp.TrainX, fp.TrainY, numClasses); err != nil {
+				return err
+			}
+			if pred, err = m.Predict(fp.TestX); err != nil {
+				return err
+			}
+		case "xgb":
+			m := xgb.New(xgb.Config{
+				NumRounds: o.rounds, LearningRate: 0.3, MaxDepth: 6,
+				Gamma: o.gamma, Lambda: o.lambda, Alpha: o.alpha,
+				MinChildWeight: 1, Subsample: 1, Seed: o.seed,
+			})
+			if err := m.Fit(fp.TrainX, fp.TrainY, numClasses, nil, nil); err != nil {
+				return err
+			}
+			if pred, err = m.Predict(fp.TestX); err != nil {
+				return err
+			}
+			names := core.CovFeatureNames()
+			if o.features == "cov" {
+				fmt.Println("top-3 features by gain importance:")
+				for i, f := range m.TopFeatures(xgb.ImportanceGain, 3) {
+					fmt.Printf("  %d. %s\n", i+1, names[f])
+				}
+			}
+		}
+
+	case "lstm", "lstm2", "cnnlstm":
+		trainT := ch.Train.X.Downsample(o.stride)
+		testT := ch.Test.X.Downsample(o.stride)
+		testY = ch.Test.Y
+		var m nn.SequenceClassifier
+		switch o.model {
+		case "lstm":
+			m, err = nn.NewBiLSTMClassifier(trainT.C, o.hidden, trainT.T, numClasses, 1, o.seed)
+		case "lstm2":
+			m, err = nn.NewBiLSTMClassifier(trainT.C, o.hidden, trainT.T, numClasses, 2, o.seed)
+		case "cnnlstm":
+			m, err = nn.NewCNNLSTMClassifier(trainT.C, trainT.T, numClasses, nn.CNNLSTMOptions{Hidden: o.hidden, Seed: o.seed})
+		}
+		if err != nil {
+			return err
+		}
+		cfg := nn.DefaultTrainConfig()
+		cfg.Epochs = o.epochs
+		cfg.Seed = o.seed
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+		if _, err := nn.Train(m, trainT, ch.Train.Y, cfg); err != nil {
+			return err
+		}
+		if pred, err = nn.Predict(m, testT, nil, cfg.BatchSize); err != nil {
+			return err
+		}
+
+	default:
+		return fmt.Errorf("unknown model %q", o.model)
+	}
+
+	acc, err := metrics.Accuracy(testY, pred)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("test accuracy: %.2f%%\n", acc*100)
+
+	if o.report {
+		names := make([]string, numClasses)
+		for _, c := range telemetry.AllClasses() {
+			names[int(c)] = c.Name()
+		}
+		rep, err := metrics.Report(testY, pred, numClasses, names)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+// Live monitor: the deployment scenario the paper's future-work section
+// sketches — classify *running* jobs from a sliding 60-second window of
+// their live telemetry.
+//
+// A classifier is trained offline on the 60-middle-1 dataset, then a
+// handful of "live" jobs stream DCGM samples; every 15 seconds of stream
+// the monitor re-extracts the covariance features from the most recent 540
+// samples and prints its current belief about what is running.
+//
+//	go run ./examples/livemonitor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/forest"
+	"repro/internal/mat"
+	"repro/internal/preprocess"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	fmt.Println("offline phase: training RF-Cov on 60-middle-1 (scale 0.08)...")
+	ds, err := repro.GenerateDataset("60-middle-1", 0.08, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := repro.TrainRFCov(ds, 100, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  offline test accuracy: %.2f%%\n\n", res.Accuracy*100)
+
+	// The scaler the training pipeline fitted is re-derived here the same
+	// way so the live features live in the same space.
+	var scaler preprocess.StandardScaler
+	if _, err := scaler.FitTransform(ds.Challenge.Train.X.Flatten()); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("live phase: monitoring 4 running jobs...")
+	sim := ds.Sim
+	jobs := pickLiveJobs(sim, 4)
+	for _, j := range jobs {
+		fmt.Printf("\njob %d (%d GPUs, truth: %s)\n", j.ID, j.NumGPUs, j.Class.Name())
+		// Stream: window endpoints advancing 15 s at a time, starting once
+		// a full minute of telemetry exists.
+		for end := 60.0; end <= 120 && end <= j.Duration; end += 15 {
+			w, err := j.GPUWindow(0, end-60, 540)
+			if err != nil {
+				log.Fatal(err)
+			}
+			probs, err := classifyWindow(res.Model, &scaler, w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			best := mat.ArgMax(probs)
+			fmt.Printf("  t=%4.0fs  prediction: %-14s (p=%.2f)", end, res.ClassNames[best], probs[best])
+			if telemetry.Class(best) == j.Class {
+				fmt.Println("  << correct")
+			} else {
+				fmt.Println()
+			}
+		}
+	}
+}
+
+// pickLiveJobs selects jobs long enough to stream for two minutes, spread
+// over distinct families.
+func pickLiveJobs(sim *telemetry.Simulator, n int) []*telemetry.Job {
+	var out []*telemetry.Job
+	seen := map[telemetry.Family]bool{}
+	for _, j := range sim.Jobs() {
+		if j.Duration < 130 || seen[j.Class.Family()] {
+			continue
+		}
+		seen[j.Class.Family()] = true
+		out = append(out, j)
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
+// classifyWindow standardises one live window with the offline scaler,
+// embeds it as covariance features and asks the forest for probabilities.
+func classifyWindow(model *forest.Classifier, scaler *preprocess.StandardScaler, w *mat.Matrix) ([]float64, error) {
+	flat := mat.New(1, w.Rows*w.Cols)
+	copy(flat.Data, w.Data)
+	z, err := scaler.Transform(flat)
+	if err != nil {
+		return nil, err
+	}
+	feats, err := preprocess.CovarianceEmbed(z, w.Rows, w.Cols)
+	if err != nil {
+		return nil, err
+	}
+	probs, err := model.PredictProba(feats)
+	if err != nil {
+		return nil, err
+	}
+	return probs.Row(0), nil
+}

@@ -1,0 +1,69 @@
+// NPZ interop: generate a challenge dataset, write it in the exact .npz
+// layout the MIT challenge distributes, read it back, and verify the round
+// trip — the same files load in Python with numpy.load.
+//
+//	go run ./examples/npzexport
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro"
+	"repro/internal/dataset"
+	"repro/internal/npz"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "wcc-npz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	fmt.Println("generating 60-random-1 (scale 0.05)...")
+	ds, err := repro.GenerateDataset("60-random-1", 0.05, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ch := ds.Challenge
+
+	ar, err := ch.ToArchive()
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(dir, "60-random-1.npz")
+	if err := ar.WriteFile(path); err != nil {
+		log.Fatal(err)
+	}
+	fi, _ := os.Stat(path)
+	fmt.Printf("wrote %s (%.1f MB)\n", path, float64(fi.Size())/1e6)
+
+	back, err := npz.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\narchive members:")
+	for _, name := range back.Names() {
+		a, _ := back.Get(name)
+		fmt.Printf("  %-12s shape=%v dtype=%s\n", name, a.Shape, a.DType)
+	}
+
+	got, err := dataset.FromArchive(back, ch.Spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	same := got.Train.Len() == ch.Train.Len() && got.Test.Len() == ch.Test.Len()
+	for i := range ch.Train.X.Data {
+		if got.Train.X.Data[i] != ch.Train.X.Data[i] {
+			same = false
+			break
+		}
+	}
+	fmt.Printf("\nround trip bit-exact: %v\n", same)
+	fmt.Println("\nthe same file loads in Python:")
+	fmt.Println("  >>> d = numpy.load('60-random-1.npz')")
+	fmt.Println("  >>> d['X_train'].shape, d['y_train'].shape, d['model_train'][:3]")
+}

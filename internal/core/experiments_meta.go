@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/dataset"
+	"repro/internal/telemetry"
+)
+
+// Table1Row is one family row of the paper's Table I.
+type Table1Row struct {
+	Domain    telemetry.Domain
+	Family    telemetry.Family
+	PaperJobs int
+	// GeneratedJobs counts jobs in the simulated population (differs from
+	// PaperJobs only when Scale < 1).
+	GeneratedJobs int
+}
+
+// RunTable1 tallies architecture totals for all model families.
+func RunTable1(sim *telemetry.Simulator) []Table1Row {
+	gen := map[telemetry.Family]int{}
+	for _, j := range sim.Jobs() {
+		gen[j.Class.Family()]++
+	}
+	var rows []Table1Row
+	for f := telemetry.Family(0); f < telemetry.NumFamilies; f++ {
+		rows = append(rows, Table1Row{
+			Domain:        f.Domain(),
+			Family:        f,
+			PaperJobs:     telemetry.FamilyJobCount(f),
+			GeneratedJobs: gen[f],
+		})
+	}
+	return rows
+}
+
+// FormatTable1 renders Table I.
+func FormatTable1(rows []Table1Row) string {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Domain.String(), r.Family.String(),
+			strconv.Itoa(r.PaperJobs), strconv.Itoa(r.GeneratedJobs),
+		})
+	}
+	return RenderTable("Table I: architecture totals for all models",
+		[]string{"Domain", "Family", "Paper jobs", "Generated jobs"}, cells)
+}
+
+// FormatTables2And3 renders the CPU and GPU sensor schemas (Tables II/III).
+func FormatTables2And3() string {
+	var cpu [][]string
+	for s := telemetry.CPUSensor(0); s < telemetry.NumCPUSensors; s++ {
+		cpu = append(cpu, []string{s.String(), s.Description()})
+	}
+	var gpu [][]string
+	for s := telemetry.GPUSensor(0); s < telemetry.NumGPUSensors; s++ {
+		gpu = append(gpu, []string{strconv.Itoa(int(s)), s.String(), s.Description()})
+	}
+	return RenderTable("Table II: CPU time series features for classification",
+		[]string{"Metric", "Description"}, cpu) + "\n" +
+		RenderTable("Table III: GPU time series features for classification",
+			[]string{"Index", "Metric", "Description"}, gpu)
+}
+
+// Table4Row is one dataset row of the paper's Table IV.
+type Table4Row struct {
+	Name        string
+	TrainTrials int
+	TestTrials  int
+	Samples     int
+	Sensors     int
+	PaperTrain  int
+	PaperTest   int
+}
+
+// paperTable4 holds the published trial counts for reference columns.
+var paperTable4 = map[string][2]int{
+	"60-start-1":  {14590, 3648},
+	"60-middle-1": {14213, 3554},
+	"60-random-1": {14184, 3546},
+	"60-random-2": {14183, 3546},
+	"60-random-3": {14175, 3544},
+	"60-random-4": {14193, 3549},
+	"60-random-5": {14193, 3549},
+}
+
+// RunTable4 builds all seven challenge datasets (uncapped) and reports
+// their shapes.
+func RunTable4(sim *telemetry.Simulator, seed int64) ([]Table4Row, error) {
+	var rows []Table4Row
+	for _, spec := range dataset.ChallengeSpecs {
+		opts := dataset.DefaultBuildOptions()
+		opts.Seed = seed
+		ch, err := dataset.Build(sim, spec, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: table 4 %s: %w", spec.Name, err)
+		}
+		paper := paperTable4[spec.Name]
+		rows = append(rows, Table4Row{
+			Name:        spec.Name,
+			TrainTrials: ch.Train.Len(),
+			TestTrials:  ch.Test.Len(),
+			Samples:     ch.Train.X.T,
+			Sensors:     ch.Train.X.C,
+			PaperTrain:  paper[0],
+			PaperTest:   paper[1],
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable4 renders Table IV with paper-vs-generated counts.
+func FormatTable4(rows []Table4Row) string {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Name,
+			strconv.Itoa(r.TrainTrials), strconv.Itoa(r.TestTrials),
+			strconv.Itoa(r.Samples), strconv.Itoa(r.Sensors),
+			strconv.Itoa(r.PaperTrain), strconv.Itoa(r.PaperTest),
+		})
+	}
+	return RenderTable("Table IV: workload classification challenge datasets",
+		[]string{"Dataset", "Train", "Test", "Samples", "Sensors", "Paper train", "Paper test"}, cells)
+}
+
+// Table789Row is one class row of the appendix inventory.
+type Table789Row struct {
+	Class         telemetry.Class
+	PaperJobs     int
+	GeneratedJobs int
+	GPUSeries     int
+}
+
+// RunTables789 tallies per-class job counts (appendix Tables VII-IX).
+func RunTables789(sim *telemetry.Simulator) []Table789Row {
+	gen := map[telemetry.Class]int{}
+	series := map[telemetry.Class]int{}
+	for _, j := range sim.Jobs() {
+		gen[j.Class]++
+		series[j.Class] += j.NumGPUs
+	}
+	var rows []Table789Row
+	for _, c := range telemetry.AllClasses() {
+		rows = append(rows, Table789Row{
+			Class:         c,
+			PaperJobs:     c.JobCount(),
+			GeneratedJobs: gen[c],
+			GPUSeries:     series[c],
+		})
+	}
+	return rows
+}
+
+// FormatTables789 renders the class inventory.
+func FormatTables789(rows []Table789Row) string {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprintf("%d", int(r.Class)), r.Class.Name(), r.Class.Family().String(),
+			strconv.Itoa(r.PaperJobs), strconv.Itoa(r.GeneratedJobs), strconv.Itoa(r.GPUSeries),
+		})
+	}
+	return RenderTable("Tables VII-IX: the 26 labelled architectures",
+		[]string{"Label", "Model", "Family", "Paper jobs", "Generated jobs", "GPU series"}, cells)
+}

@@ -1,0 +1,36 @@
+package core
+
+import "fmt"
+
+// paperTable6 holds the published RNN accuracies (%) for side-by-side
+// reporting.
+var paperTable6 = map[string]map[string]float64{
+	"LSTM (h=128)":                   {"60-start-1": 82.57, "60-middle-1": 92.09, "60-random-1": 90.81},
+	"LSTM (h=128, 2-layer)":          {"60-start-1": 80.51, "60-middle-1": 91.90, "60-random-1": 90.52},
+	"CNN-LSTM (h=128)":               {"60-start-1": 82.65, "60-middle-1": 89.90, "60-random-1": 90.55},
+	"CNN-LSTM (h=256)":               {"60-start-1": 67.60, "60-middle-1": 89.36, "60-random-1": 88.61},
+	"CNN-LSTM (h=512)":               {"60-start-1": 64.45, "60-middle-1": 65.67, "60-random-1": 73.80},
+	"CNN-LSTM (h=512, small kernel)": {"60-start-1": 66.26, "60-middle-1": 71.47, "60-random-1": 75.21},
+}
+
+// PaperTable6 exposes the published Table VI accuracies (percent).
+func PaperTable6() map[string]map[string]float64 { return paperTable6 }
+
+// FormatTable6 renders measured RNN accuracies with the paper's values.
+func FormatTable6(res *Table6Result) string {
+	headers := []string{"Model", "Start", "Middle", "Random"}
+	var cells [][]string
+	for _, m := range res.Models {
+		row := []string{m}
+		for _, d := range res.Datasets {
+			row = append(row, pct(res.Cells[m][d].TestAccuracy))
+		}
+		cells = append(cells, row)
+		paperRow := []string{"  (paper)"}
+		for _, d := range res.Datasets {
+			paperRow = append(paperRow, fmt.Sprintf("%.2f", paperTable6[m][d]))
+		}
+		cells = append(cells, paperRow)
+	}
+	return RenderTable("Table VI: RNN test accuracy (%)", headers, cells)
+}

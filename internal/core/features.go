@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/mat"
+	"repro/internal/preprocess"
+	"repro/internal/telemetry"
+)
+
+// FeaturePair holds matched train/test feature matrices plus labels, ready
+// for the classical models.
+type FeaturePair struct {
+	TrainX *mat.Matrix
+	TrainY []int
+	TestX  *mat.Matrix
+	TestY  []int
+}
+
+// standardised flattens both splits and standardises them with
+// training-set statistics, exactly the paper's first step.
+func standardised(ch *dataset.Challenge) (trainZ, testZ *mat.Matrix, err error) {
+	trainFlat := ch.Train.X.Flatten()
+	testFlat := ch.Test.X.Flatten()
+	var scaler preprocess.StandardScaler
+	trainZ, err = scaler.FitTransform(trainFlat)
+	if err != nil {
+		return nil, nil, err
+	}
+	testZ, err = scaler.Transform(testFlat)
+	if err != nil {
+		return nil, nil, err
+	}
+	return trainZ, testZ, nil
+}
+
+// CovFeatures runs the paper's covariance pipeline: standardise, then embed
+// every trial as the 28 unique sensor variances/covariances.
+func CovFeatures(ch *dataset.Challenge) (*FeaturePair, error) {
+	trainZ, testZ, err := standardised(ch)
+	if err != nil {
+		return nil, err
+	}
+	t, c := ch.Train.X.T, ch.Train.X.C
+	trainF, err := preprocess.CovarianceEmbed(trainZ, t, c)
+	if err != nil {
+		return nil, err
+	}
+	testF, err := preprocess.CovarianceEmbed(testZ, t, c)
+	if err != nil {
+		return nil, err
+	}
+	return &FeaturePair{TrainX: trainF, TrainY: ch.Train.Y, TestX: testF, TestY: ch.Test.Y}, nil
+}
+
+// PCAFeatures runs the paper's PCA pipeline at the given dimension:
+// standardise the flattened trials, fit PCA on the training split, project
+// both splits.
+func PCAFeatures(ch *dataset.Challenge, dim int, seed int64) (*FeaturePair, error) {
+	trainZ, testZ, err := standardised(ch)
+	if err != nil {
+		return nil, err
+	}
+	if dim > trainZ.Rows-1 {
+		return nil, fmt.Errorf("core: PCA dim %d too large for %d training trials", dim, trainZ.Rows)
+	}
+	pca, err := preprocess.FitPCA(trainZ, dim, seed)
+	if err != nil {
+		return nil, err
+	}
+	trainF, err := pca.Transform(trainZ)
+	if err != nil {
+		return nil, err
+	}
+	testF, err := pca.Transform(testZ)
+	if err != nil {
+		return nil, err
+	}
+	return &FeaturePair{TrainX: trainF, TrainY: ch.Train.Y, TestX: testF, TestY: ch.Test.Y}, nil
+}
+
+// CovFeatureNames labels the covariance embedding dimensions with DCGM
+// sensor pairs, for the §IV-B importance analysis.
+func CovFeatureNames() []string {
+	sensors := make([]string, telemetry.NumGPUSensors)
+	for s := telemetry.GPUSensor(0); s < telemetry.NumGPUSensors; s++ {
+		sensors[s] = s.String()
+	}
+	return preprocess.CovariancePairNames(sensors)
+}
+
+// BuildDataset constructs one Table IV dataset under the preset's caps.
+func BuildDataset(sim *telemetry.Simulator, spec dataset.Spec, p Preset) (*dataset.Challenge, error) {
+	opts := dataset.DefaultBuildOptions()
+	opts.Seed = p.Seed
+	opts.MaxTrialsPerSet = 0
+	ch, err := dataset.Build(sim, spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	return capChallenge(ch, p.MaxTrain, p.MaxTest), nil
+}
+
+// capChallenge truncates splits to the preset budget (the split shuffle has
+// already balanced classes).
+func capChallenge(ch *dataset.Challenge, maxTrain, maxTest int) *dataset.Challenge {
+	out := &dataset.Challenge{Spec: ch.Spec, Train: ch.Train, Test: ch.Test}
+	if maxTrain > 0 && ch.Train.Len() > maxTrain {
+		idx := make([]int, maxTrain)
+		for i := range idx {
+			idx[i] = i
+		}
+		out.Train = ch.Train.Select(idx)
+	}
+	if maxTest > 0 && ch.Test.Len() > maxTest {
+		idx := make([]int, maxTest)
+		for i := range idx {
+			idx[i] = i
+		}
+		out.Test = ch.Test.Select(idx)
+	}
+	return out
+}
+
+// NewSimulator builds the simulator for a preset.
+func NewSimulator(p Preset) (*telemetry.Simulator, error) {
+	return telemetry.NewSimulator(telemetry.Config{Seed: p.Seed, Scale: p.Scale, GapRate: 1})
+}

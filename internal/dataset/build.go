@@ -1,0 +1,296 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/telemetry"
+)
+
+// WindowMethod selects how the 60-second window is positioned within a
+// trial's time series (the paper's three sampling strategies).
+type WindowMethod int
+
+const (
+	// WindowStart takes the first 60 seconds of the series.
+	WindowStart WindowMethod = iota
+	// WindowMiddle takes the 60 seconds centred in the series.
+	WindowMiddle
+	// WindowRandom draws the window position uniformly at random.
+	WindowRandom
+)
+
+func (m WindowMethod) String() string {
+	switch m {
+	case WindowStart:
+		return "start"
+	case WindowMiddle:
+		return "middle"
+	case WindowRandom:
+		return "random"
+	}
+	return "unknown"
+}
+
+// Spec identifies one of the seven challenge datasets of Table IV.
+type Spec struct {
+	Name        string
+	Method      WindowMethod
+	RandomIndex int // 1..5 for the random variants, 1 otherwise
+}
+
+// ChallengeSpecs lists the seven datasets exactly as Table IV does.
+var ChallengeSpecs = []Spec{
+	{Name: "60-start-1", Method: WindowStart, RandomIndex: 1},
+	{Name: "60-middle-1", Method: WindowMiddle, RandomIndex: 1},
+	{Name: "60-random-1", Method: WindowRandom, RandomIndex: 1},
+	{Name: "60-random-2", Method: WindowRandom, RandomIndex: 2},
+	{Name: "60-random-3", Method: WindowRandom, RandomIndex: 3},
+	{Name: "60-random-4", Method: WindowRandom, RandomIndex: 4},
+	{Name: "60-random-5", Method: WindowRandom, RandomIndex: 5},
+}
+
+// SpecByName resolves a dataset name like "60-middle-1".
+func SpecByName(name string) (Spec, bool) {
+	for _, s := range ChallengeSpecs {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// WindowSamples is the number of DCGM samples in one challenge window.
+const WindowSamples = 540
+
+// WindowSeconds is the window length in seconds.
+const WindowSeconds = 60.0
+
+// Eligibility thresholds (seconds). A start window only needs the first
+// minute to exist; middle and random windows additionally need margin so
+// the window is interior to the series. These generate the Table IV
+// start>middle>random trial-count ordering.
+const (
+	minDurStart  = WindowSeconds + 1
+	minDurMiddle = WindowSeconds + 12
+	minDurRandom = WindowSeconds + 12
+)
+
+// Set is one side (train or test) of a challenge dataset: the tensor plus
+// integer labels and model names, mirroring the X/y/model npz arrays.
+type Set struct {
+	X      *Tensor3
+	Y      []int
+	Models []string
+	JobIDs []int     // provenance: generating job of each trial (not in the npz)
+	GPUs   []int     // provenance: GPU index within the job
+	T0s    []float64 // provenance: window start time within the job (s)
+}
+
+// Len returns the number of trials.
+func (s *Set) Len() int { return len(s.Y) }
+
+// NumClasses returns the label-space size (max label + 1).
+func (s *Set) NumClasses() int {
+	max := -1
+	for _, y := range s.Y {
+		if y > max {
+			max = y
+		}
+	}
+	return max + 1
+}
+
+// Select gathers the given trial indices into a new Set.
+func (s *Set) Select(idx []int) *Set {
+	out := &Set{
+		X:      s.X.SelectTrials(idx),
+		Y:      make([]int, len(idx)),
+		Models: make([]string, len(idx)),
+		JobIDs: make([]int, len(idx)),
+		GPUs:   make([]int, len(idx)),
+		T0s:    make([]float64, len(idx)),
+	}
+	for k, i := range idx {
+		out.Y[k] = s.Y[i]
+		out.Models[k] = s.Models[i]
+		out.JobIDs[k] = s.JobIDs[i]
+		out.GPUs[k] = s.GPUs[i]
+		out.T0s[k] = s.T0s[i]
+	}
+	return out
+}
+
+// Challenge is one complete Table IV dataset: train and test splits.
+type Challenge struct {
+	Spec  Spec
+	Train *Set
+	Test  *Set
+}
+
+// BuildOptions controls dataset construction.
+type BuildOptions struct {
+	// TrainFrac is the training fraction of the 80/20 split.
+	TrainFrac float64
+	// Seed drives the split shuffle and random window draws.
+	Seed int64
+	// MaxTrialsPerSet truncates train/test after the split (0 = no limit);
+	// used by the scaled presets to bound model-fitting cost.
+	MaxTrialsPerSet int
+}
+
+// DefaultBuildOptions mirrors the challenge: 80/20 split.
+func DefaultBuildOptions() BuildOptions {
+	return BuildOptions{TrainFrac: 0.8, Seed: 1}
+}
+
+// trialRef identifies one GPU series with its chosen window.
+type trialRef struct {
+	job *telemetry.Job
+	gpu int
+	t0  float64
+}
+
+// Build extracts the named challenge dataset from the simulated labelled
+// dataset. Per the paper, every GPU series of a multi-GPU job becomes its
+// own trial carrying the job's label; series shorter than the eligibility
+// threshold are dropped, and random draws that land on telemetry gaps
+// exclude the trial (this is what makes the five random datasets differ
+// slightly in size).
+func Build(sim *telemetry.Simulator, spec Spec, opt BuildOptions) (*Challenge, error) {
+	if opt.TrainFrac <= 0 || opt.TrainFrac >= 1 {
+		return nil, fmt.Errorf("dataset: train fraction %v out of (0,1)", opt.TrainFrac)
+	}
+	var refs []trialRef
+	for _, j := range sim.Jobs() {
+		for g := 0; g < j.NumGPUs; g++ {
+			t0, ok := chooseWindow(sim, j, g, spec)
+			if !ok {
+				continue
+			}
+			refs = append(refs, trialRef{job: j, gpu: g, t0: t0})
+		}
+	}
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("dataset: no eligible trials for %s", spec.Name)
+	}
+
+	trainIdx, testIdx := stratifiedSplit(refs, opt.TrainFrac, opt.Seed)
+	if opt.MaxTrialsPerSet > 0 {
+		if len(trainIdx) > opt.MaxTrialsPerSet {
+			trainIdx = trainIdx[:opt.MaxTrialsPerSet]
+		}
+		if len(testIdx) > opt.MaxTrialsPerSet {
+			testIdx = testIdx[:opt.MaxTrialsPerSet]
+		}
+	}
+
+	train, err := materialise(refs, trainIdx)
+	if err != nil {
+		return nil, err
+	}
+	test, err := materialise(refs, testIdx)
+	if err != nil {
+		return nil, err
+	}
+	return &Challenge{Spec: spec, Train: train, Test: test}, nil
+}
+
+// chooseWindow returns the window start time for one series, or ok=false if
+// the series is ineligible for this spec.
+func chooseWindow(sim *telemetry.Simulator, j *telemetry.Job, gpu int, spec Spec) (float64, bool) {
+	d := j.Duration
+	switch spec.Method {
+	case WindowStart:
+		// Collectors start with the job, so the first minute is always
+		// gap-free; only duration gates eligibility.
+		if d < minDurStart {
+			return 0, false
+		}
+		return 0, true
+	case WindowMiddle:
+		if d < minDurMiddle {
+			return 0, false
+		}
+		return (d - WindowSeconds) / 2, true
+	case WindowRandom:
+		if d < minDurRandom {
+			return 0, false
+		}
+		// Deterministic per (series, random index): the five random datasets
+		// draw independently, as the challenge generated five variants. A
+		// draw landing on a telemetry outage drops the trial, which is why
+		// the random datasets are slightly smaller than 60-middle-1 and
+		// differ from each other (Table IV).
+		seed := j.Seed ^ int64(gpu)<<32 ^ int64(spec.RandomIndex)*0x9e3779b9
+		rng := rand.New(rand.NewSource(seed))
+		t0 := rng.Float64() * (d - WindowSeconds - 1)
+		if sim.HasGap(j, gpu, t0, t0+WindowSeconds) {
+			return 0, false
+		}
+		return t0, true
+	}
+	return 0, false
+}
+
+// stratifiedSplit shuffles trials within each class and splits each class
+// trainFrac/1-trainFrac, so every class appears on both sides even at small
+// generation scales.
+func stratifiedSplit(refs []trialRef, trainFrac float64, seed int64) (train, test []int) {
+	byClass := map[int][]int{}
+	for i, r := range refs {
+		c := int(r.job.Class)
+		byClass[c] = append(byClass[c], i)
+	}
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	rng := rand.New(rand.NewSource(seed))
+	for _, c := range classes {
+		idx := byClass[c]
+		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		cut := int(float64(len(idx)) * trainFrac)
+		if cut == len(idx) && len(idx) > 1 {
+			cut-- // keep at least one test trial per class when possible
+		}
+		if cut == 0 && len(idx) > 1 {
+			cut = 1
+		}
+		train = append(train, idx[:cut]...)
+		test = append(test, idx[cut:]...)
+	}
+	// Shuffle across classes so truncation (MaxTrialsPerSet) stays balanced.
+	rng.Shuffle(len(train), func(a, b int) { train[a], train[b] = train[b], train[a] })
+	rng.Shuffle(len(test), func(a, b int) { test[a], test[b] = test[b], test[a] })
+	return train, test
+}
+
+func materialise(refs []trialRef, idx []int) (*Set, error) {
+	set := &Set{
+		X:      NewTensor3(len(idx), WindowSamples, int(telemetry.NumGPUSensors)),
+		Y:      make([]int, len(idx)),
+		Models: make([]string, len(idx)),
+		JobIDs: make([]int, len(idx)),
+		GPUs:   make([]int, len(idx)),
+		T0s:    make([]float64, len(idx)),
+	}
+	for k, i := range idx {
+		r := refs[i]
+		w, err := r.job.GPUWindow(r.gpu, r.t0, WindowSamples)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: job %d gpu %d t0 %.1f: %w", r.job.ID, r.gpu, r.t0, err)
+		}
+		if err := set.X.SetTrial(k, w); err != nil {
+			return nil, err
+		}
+		set.Y[k] = int(r.job.Class)
+		set.Models[k] = r.job.Class.Name()
+		set.JobIDs[k] = r.job.ID
+		set.GPUs[k] = r.gpu
+		set.T0s[k] = r.t0
+	}
+	return set, nil
+}

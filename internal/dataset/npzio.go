@@ -1,0 +1,95 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/npz"
+)
+
+// ToArchive serialises a challenge dataset into the exact npz layout the
+// MIT challenge distributes: X_train, y_train, model_train, X_test, y_test,
+// model_test, with X as float32 (trials, samples, sensors) and y as int64.
+func (c *Challenge) ToArchive() (*npz.Archive, error) {
+	ar := npz.NewArchive()
+	if err := putSet(ar, "train", c.Train); err != nil {
+		return nil, err
+	}
+	if err := putSet(ar, "test", c.Test); err != nil {
+		return nil, err
+	}
+	return ar, nil
+}
+
+func putSet(ar *npz.Archive, suffix string, s *Set) error {
+	x, err := npz.FromFloat32s(s.X.Data, s.X.N, s.X.T, s.X.C)
+	if err != nil {
+		return fmt.Errorf("dataset: X_%s: %w", suffix, err)
+	}
+	ar.Set("X_"+suffix, x)
+	labels := make([]int64, len(s.Y))
+	for i, v := range s.Y {
+		labels[i] = int64(v)
+	}
+	y, err := npz.FromInt64s(labels, len(labels))
+	if err != nil {
+		return fmt.Errorf("dataset: y_%s: %w", suffix, err)
+	}
+	ar.Set("y_"+suffix, y)
+	ar.Set("model_"+suffix, npz.FromStrings(s.Models))
+	return nil
+}
+
+// FromArchive loads a challenge dataset from the npz layout. The Spec is
+// carried through opaque metadata-free files, so the caller supplies it.
+func FromArchive(ar *npz.Archive, spec Spec) (*Challenge, error) {
+	train, err := getSet(ar, "train")
+	if err != nil {
+		return nil, err
+	}
+	test, err := getSet(ar, "test")
+	if err != nil {
+		return nil, err
+	}
+	return &Challenge{Spec: spec, Train: train, Test: test}, nil
+}
+
+func getSet(ar *npz.Archive, suffix string) (*Set, error) {
+	xa, ok := ar.Get("X_" + suffix)
+	if !ok {
+		return nil, fmt.Errorf("dataset: archive missing X_%s", suffix)
+	}
+	if len(xa.Shape) != 3 {
+		return nil, fmt.Errorf("dataset: X_%s has shape %v, want 3-D", suffix, xa.Shape)
+	}
+	xf, err := xa.AsFloat64s()
+	if err != nil {
+		return nil, err
+	}
+	t := NewTensor3(xa.Shape[0], xa.Shape[1], xa.Shape[2])
+	for i, v := range xf {
+		t.Data[i] = float32(v)
+	}
+
+	ya, ok := ar.Get("y_" + suffix)
+	if !ok {
+		return nil, fmt.Errorf("dataset: archive missing y_%s", suffix)
+	}
+	y, err := ya.AsInts()
+	if err != nil {
+		return nil, err
+	}
+	if len(y) != t.N {
+		return nil, fmt.Errorf("dataset: %d labels for %d trials", len(y), t.N)
+	}
+
+	var models []string
+	if ma, ok := ar.Get("model_" + suffix); ok && ma.Strings != nil {
+		models = ma.Strings
+	} else {
+		models = make([]string, t.N)
+	}
+	return &Set{
+		X: t, Y: y, Models: models,
+		JobIDs: make([]int, t.N), GPUs: make([]int, t.N), T0s: make([]float64, t.N),
+	}, nil
+}

@@ -1,0 +1,222 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// EigSym computes the full eigendecomposition of the symmetric matrix a
+// using the cyclic Jacobi method. It returns the eigenvalues in descending
+// order and a matrix whose columns are the corresponding unit eigenvectors.
+//
+// Jacobi is exact and robust but O(n³) per sweep, so it is used for the
+// small covariance matrices this project produces directly (the 7×7 sensor
+// covariance, the 28×28 embedding covariance). For PCA on flattened trials
+// (3,780 dimensions) use EigSymTopK instead.
+func EigSym(a *Matrix) (values []float64, vectors *Matrix, err error) {
+	if a.Rows != a.Cols {
+		return nil, nil, fmt.Errorf("mat: EigSym needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if n == 0 {
+		return nil, New(0, 0), nil
+	}
+	w := a.Clone()
+	v := Identity(n)
+
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				off += w.At(p, q) * w.At(p, q)
+			}
+		}
+		if off < 1e-22*float64(n*n) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+
+				// Apply the rotation G(p,q,θ) on both sides of w and
+				// accumulate it into v.
+				for k := 0; k < n; k++ {
+					wkp := w.At(k, p)
+					wkq := w.At(k, q)
+					w.Set(k, p, c*wkp-s*wkq)
+					w.Set(k, q, s*wkp+c*wkq)
+				}
+				for k := 0; k < n; k++ {
+					wpk := w.At(p, k)
+					wqk := w.At(q, k)
+					w.Set(p, k, c*wpk-s*wqk)
+					w.Set(q, k, s*wpk+c*wqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp := v.At(k, p)
+					vkq := v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = w.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return values[idx[i]] > values[idx[j]] })
+	sortedVals := make([]float64, n)
+	sortedVecs := New(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = values[oldCol]
+		for r := 0; r < n; r++ {
+			sortedVecs.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return sortedVals, sortedVecs, nil
+}
+
+// EigSymTopK approximates the k largest eigenpairs of the symmetric PSD
+// matrix implicitly defined by XᵀX/(n-1), where x holds one centered
+// observation per row. It uses a randomized subspace iteration (Halko et
+// al.) with a fixed number of power iterations, which avoids ever forming
+// the d×d covariance when d is large (PCA on 3,780-dim flattened trials).
+//
+// Returned eigenvalues are in descending order; vectors holds the
+// corresponding unit eigenvectors as columns (d×k).
+func EigSymTopK(x *Matrix, k, powerIters int, rng *rand.Rand) (values []float64, vectors *Matrix, err error) {
+	n, d := x.Rows, x.Cols
+	if n < 2 {
+		return nil, nil, errors.New("mat: EigSymTopK needs at least two observations")
+	}
+	if k <= 0 || k > d {
+		return nil, nil, fmt.Errorf("mat: EigSymTopK k=%d out of range (d=%d)", k, d)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	oversample := 8
+	l := k + oversample
+	if l > d {
+		l = d
+	}
+	if l > n {
+		l = n
+	}
+	if l < k {
+		k = l
+	}
+
+	// Q: d×l random range, refined by power iteration on A = XᵀX.
+	q := New(d, l)
+	for i := range q.Data {
+		q.Data[i] = rng.NormFloat64()
+	}
+	orthonormalizeColumns(q)
+
+	y := New(n, l) // X * Q
+	z := New(d, l) // Xᵀ * Y
+	xt := x.T()    // materialise once; reused across iterations
+	for it := 0; it <= powerIters; it++ {
+		MulInto(y, x, q)
+		MulInto(z, xt, y)
+		copy(q.Data, z.Data)
+		orthonormalizeColumns(q)
+	}
+
+	// Project: B = Qᵀ (XᵀX) Q / (n-1)  (l×l, small), solve exactly.
+	MulInto(y, x, q)
+	b := New(l, l)
+	for i := 0; i < l; i++ {
+		for j := i; j < l; j++ {
+			var s float64
+			for r := 0; r < n; r++ {
+				s += y.At(r, i) * y.At(r, j)
+			}
+			s /= float64(n - 1)
+			b.Set(i, j, s)
+			b.Set(j, i, s)
+		}
+	}
+	bvals, bvecs, err := EigSym(b)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Lift back: V = Q * Bvecs, keep first k columns.
+	full, err := Mul(q, bvecs)
+	if err != nil {
+		return nil, nil, err
+	}
+	vectors = New(d, k)
+	values = make([]float64, k)
+	for c := 0; c < k; c++ {
+		values[c] = bvals[c]
+		for r := 0; r < d; r++ {
+			vectors.Set(r, c, full.At(r, c))
+		}
+	}
+	return values, vectors, nil
+}
+
+// orthonormalizeColumns applies modified Gram-Schmidt to the columns of q
+// in place. Columns that become numerically zero are replaced with unit
+// basis vectors to keep the basis full rank.
+func orthonormalizeColumns(q *Matrix) {
+	d, l := q.Rows, q.Cols
+	col := make([]float64, d)
+	for j := 0; j < l; j++ {
+		for r := 0; r < d; r++ {
+			col[r] = q.At(r, j)
+		}
+		for p := 0; p < j; p++ {
+			var dot float64
+			for r := 0; r < d; r++ {
+				dot += col[r] * q.At(r, p)
+			}
+			for r := 0; r < d; r++ {
+				col[r] -= dot * q.At(r, p)
+			}
+		}
+		n := Norm2(col)
+		if n < 1e-12 {
+			for r := range col {
+				col[r] = 0
+			}
+			col[j%d] = 1
+		} else {
+			inv := 1 / n
+			for r := range col {
+				col[r] *= inv
+			}
+		}
+		for r := 0; r < d; r++ {
+			q.Set(r, j, col[r])
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEigSymDiagonal(t *testing.T) {
+	a, _ := FromRows([][]float64{{3, 0}, {0, 1}})
+	vals, vecs, err := EigSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-3) > 1e-10 || math.Abs(vals[1]-1) > 1e-10 {
+		t.Errorf("eigenvalues = %v", vals)
+	}
+	// First eigenvector should be ±e1.
+	if math.Abs(math.Abs(vecs.At(0, 0))-1) > 1e-8 {
+		t.Errorf("first eigenvector = %v %v", vecs.At(0, 0), vecs.At(1, 0))
+	}
+}
+
+func TestEigSymKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a, _ := FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs, err := EigSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-3) > 1e-10 || math.Abs(vals[1]-1) > 1e-10 {
+		t.Errorf("eigenvalues = %v, want [3 1]", vals)
+	}
+	// Check A v = λ v for first pair.
+	v0 := vecs.Col(0)
+	av := []float64{2*v0[0] + v0[1], v0[0] + 2*v0[1]}
+	for i := range av {
+		if math.Abs(av[i]-3*v0[i]) > 1e-8 {
+			t.Errorf("A v != λ v at %d: %v vs %v", i, av[i], 3*v0[i])
+		}
+	}
+}
+
+func TestEigSymNonSquare(t *testing.T) {
+	if _, _, err := EigSym(New(2, 3)); err == nil {
+		t.Error("EigSym on non-square should fail")
+	}
+}
+
+func TestEigSymEmpty(t *testing.T) {
+	vals, vecs, err := EigSym(New(0, 0))
+	if err != nil || len(vals) != 0 || vecs.Rows != 0 {
+		t.Errorf("EigSym(0x0) = %v %v %v", vals, vecs, err)
+	}
+}
+
+// TestEigSymReconstruction checks A == V diag(λ) Vᵀ on random symmetric
+// matrices, the defining property of the decomposition.
+func TestEigSymReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(8)
+		a := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := r.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		vals, vecs, err := EigSym(a)
+		if err != nil {
+			return false
+		}
+		// Eigenvalues must be sorted descending.
+		for i := 1; i < n; i++ {
+			if vals[i] > vals[i-1]+1e-10 {
+				return false
+			}
+		}
+		// Reconstruct.
+		recon := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for k := 0; k < n; k++ {
+					s += vecs.At(i, k) * vals[k] * vecs.At(j, k)
+				}
+				recon.Set(i, j, s)
+			}
+		}
+		return Equal(recon, a, 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEigSymOrthonormal checks VᵀV == I.
+func TestEigSymOrthonormal(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	n := 10
+	a := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := r.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	_, vecs, err := EigSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, _ := Mul(vecs.T(), vecs)
+	if !Equal(prod, Identity(n), 1e-8) {
+		t.Error("eigenvectors not orthonormal")
+	}
+}
+
+func TestEigSymTopKMatchesExact(t *testing.T) {
+	// Build observations with a known dominant direction, compare the
+	// randomized solver against exact Jacobi on the explicit covariance.
+	r := rand.New(rand.NewSource(3))
+	n, d := 200, 12
+	x := New(n, d)
+	for i := 0; i < n; i++ {
+		base := r.NormFloat64() * 5
+		for j := 0; j < d; j++ {
+			x.Set(i, j, base*float64(j%3)+r.NormFloat64())
+		}
+	}
+	// Center columns.
+	means := ColumnMeans(x)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		for j := range row {
+			row[j] -= means[j]
+		}
+	}
+	cov, err := Covariance(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactVals, _, err := EigSym(cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 4
+	vals, vecs, err := EigSymTopK(x, k, 4, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vecs.Rows != d || vecs.Cols != k {
+		t.Fatalf("vectors shape %dx%d, want %dx%d", vecs.Rows, vecs.Cols, d, k)
+	}
+	for i := 0; i < k; i++ {
+		rel := math.Abs(vals[i]-exactVals[i]) / (math.Abs(exactVals[i]) + 1e-12)
+		if rel > 0.02 {
+			t.Errorf("eigenvalue %d: randomized %v vs exact %v (rel err %v)", i, vals[i], exactVals[i], rel)
+		}
+	}
+}
+
+func TestEigSymTopKErrors(t *testing.T) {
+	if _, _, err := EigSymTopK(New(1, 4), 2, 2, nil); err == nil {
+		t.Error("one observation should fail")
+	}
+	if _, _, err := EigSymTopK(New(10, 4), 0, 2, nil); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, _, err := EigSymTopK(New(10, 4), 5, 2, nil); err == nil {
+		t.Error("k>d should fail")
+	}
+}
+
+func TestEigSymTopKNilRNG(t *testing.T) {
+	x := New(20, 5)
+	r := rand.New(rand.NewSource(11))
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat64()
+	}
+	if _, _, err := EigSymTopK(x, 2, 2, nil); err != nil {
+		t.Errorf("nil rng should default: %v", err)
+	}
+}
+
+func TestOrthonormalizeColumns(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	q := New(10, 4)
+	for i := range q.Data {
+		q.Data[i] = r.NormFloat64()
+	}
+	orthonormalizeColumns(q)
+	for a := 0; a < 4; a++ {
+		ca := q.Col(a)
+		if math.Abs(Norm2(ca)-1) > 1e-10 {
+			t.Errorf("column %d not unit norm", a)
+		}
+		for b := a + 1; b < 4; b++ {
+			if math.Abs(Dot(ca, q.Col(b))) > 1e-10 {
+				t.Errorf("columns %d,%d not orthogonal", a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,296 @@
+// Package mat provides the dense linear-algebra kernels used throughout the
+// reproduction: matrices backed by flat float64 slices, covariance
+// computation, symmetric eigendecomposition (exact Jacobi and a randomized
+// top-k solver), and the small vector kernels the model packages share.
+//
+// The package is deliberately minimal: it implements exactly what the
+// preprocessing (StandardScaler, PCA, covariance embedding) and the neural
+// network layers need, with row-major storage so that per-row operations
+// (one trial, one sample) are contiguous.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense, row-major matrix of float64 values.
+//
+// The zero value is an empty matrix. Data is stored in a single backing
+// slice of length Rows*Cols so that row i occupies
+// Data[i*Cols : (i+1)*Cols].
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zeroed rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (row-major, length rows*cols) in a Matrix without
+// copying. The caller must not resize data afterwards.
+func FromSlice(rows, cols int, data []float64) (*Matrix, error) {
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("mat: data length %d does not match %dx%d", len(data), rows, cols)
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}, nil
+}
+
+// FromRows builds a matrix by copying the given rows, which must all have
+// equal length.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return New(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("mat: row %d has length %d, want %d", i, len(r), cols)
+		}
+		copy(m.Row(i), r)
+	}
+	return m, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Col copies column j into a new slice.
+func (m *Matrix) Col(j int) []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.Data[i*m.Cols+j]
+	}
+	return out
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+// Mul returns the matrix product a*b.
+//
+// The implementation is the classic ikj loop order so the inner loop runs
+// over contiguous memory in both b and the destination; this is the hot path
+// for PCA projection and the neural-network layers.
+func Mul(a, b *Matrix) (*Matrix, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("mat: Mul dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := New(a.Rows, b.Cols)
+	MulInto(out, a, b)
+	return out, nil
+}
+
+// MulInto computes dst = a*b, where dst must already have shape
+// a.Rows×b.Cols. dst is overwritten. It panics on shape mismatch; it exists
+// so hot loops (NN training) can reuse buffers without reallocating.
+func MulInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulInto shape mismatch dst %dx%d = %dx%d * %dx%d",
+			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulTransInto computes dst = a*bᵀ without materialising the transpose.
+// dst must have shape a.Rows×b.Rows.
+func MulTransInto(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MulTransInto shape mismatch dst %dx%d = %dx%d * (%dx%d)ᵀ",
+			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			drow[j] = Dot(arow, b.Row(j))
+		}
+	}
+}
+
+// Add computes m += other element-wise.
+func (m *Matrix) Add(other *Matrix) error {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return fmt.Errorf("mat: Add shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, other.Rows, other.Cols)
+	}
+	for i, v := range other.Data {
+		m.Data[i] += v
+	}
+	return nil
+}
+
+// Scale multiplies every element of m by s.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// Equal reports whether a and b have the same shape and all elements are
+// within tol of each other.
+func Equal(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// ColumnMeans returns the mean of each column of m.
+func ColumnMeans(m *Matrix) []float64 {
+	means := make([]float64, m.Cols)
+	if m.Rows == 0 {
+		return means
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j, v := range m.Row(i) {
+			means[j] += v
+		}
+	}
+	inv := 1.0 / float64(m.Rows)
+	for j := range means {
+		means[j] *= inv
+	}
+	return means
+}
+
+// ColumnStds returns the population standard deviation of each column
+// (matching scikit-learn's StandardScaler, which divides by N).
+func ColumnStds(m *Matrix, means []float64) []float64 {
+	stds := make([]float64, m.Cols)
+	if m.Rows == 0 {
+		return stds
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j, v := range m.Row(i) {
+			d := v - means[j]
+			stds[j] += d * d
+		}
+	}
+	inv := 1.0 / float64(m.Rows)
+	for j := range stds {
+		stds[j] = math.Sqrt(stds[j] * inv)
+	}
+	return stds
+}
+
+// Covariance returns the d×d sample covariance matrix of the rows of x
+// (each row one observation), normalised by N-1. If centered is false the
+// raw second-moment matrix XᵀX/(N-1) is returned instead, which is the
+// paper's MᵀM trial embedding before mean removal.
+func Covariance(x *Matrix, centered bool) (*Matrix, error) {
+	if x.Rows < 2 {
+		return nil, errors.New("mat: covariance needs at least two rows")
+	}
+	d := x.Cols
+	cov := New(d, d)
+	var means []float64
+	if centered {
+		means = ColumnMeans(x)
+	} else {
+		means = make([]float64, d)
+	}
+	row := make([]float64, d)
+	for i := 0; i < x.Rows; i++ {
+		src := x.Row(i)
+		for j := range row {
+			row[j] = src[j] - means[j]
+		}
+		for a := 0; a < d; a++ {
+			va := row[a]
+			if va == 0 {
+				continue
+			}
+			crow := cov.Row(a)
+			for b := a; b < d; b++ {
+				crow[b] += va * row[b]
+			}
+		}
+	}
+	inv := 1.0 / float64(x.Rows-1)
+	for a := 0; a < d; a++ {
+		for b := a; b < d; b++ {
+			v := cov.At(a, b) * inv
+			cov.Set(a, b, v)
+			cov.Set(b, a, v)
+		}
+	}
+	return cov, nil
+}
+
+// String renders small matrices for debugging; large matrices are summarised.
+func (m *Matrix) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+	}
+	s := fmt.Sprintf("Matrix(%dx%d)[", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(i, j))
+		}
+	}
+	return s + "]"
+}

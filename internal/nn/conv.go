@@ -1,0 +1,200 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+)
+
+// Conv1D slides kernels across the time axis of a batch sequence. Input is
+// T matrices of B×Cin; output is T' matrices of B×Cout with
+// T' = (T-K)/S + 1. Weights are stored as a (K·Cin)×Cout matrix so each
+// output step is one im2col matmul.
+type Conv1D struct {
+	InCh, OutCh, Kernel, Stride int
+
+	W *Param // (K·Cin)×Cout
+	B *Param // 1×Cout
+
+	cols []*mat.Matrix // cached im2col blocks per output step
+	inT  int
+	bsz  int
+}
+
+// NewConv1D builds a Glorot-initialised 1-D convolution.
+func NewConv1D(inCh, outCh, kernel, stride int, rng *rand.Rand) *Conv1D {
+	c := &Conv1D{
+		InCh: inCh, OutCh: outCh, Kernel: kernel, Stride: stride,
+		W: newParam("conv.W", kernel*inCh, outCh),
+		B: newParam("conv.b", 1, outCh),
+	}
+	glorotInit(c.W.W, kernel*inCh, outCh, rng)
+	return c
+}
+
+// OutLen returns the output sequence length for an input of length t.
+func (c *Conv1D) OutLen(t int) int {
+	if t < c.Kernel {
+		return 0
+	}
+	return (t-c.Kernel)/c.Stride + 1
+}
+
+// Forward applies the convolution.
+func (c *Conv1D) Forward(seq []*mat.Matrix) []*mat.Matrix {
+	tIn := len(seq)
+	tOut := c.OutLen(tIn)
+	b := seq[0].Rows
+	c.inT = tIn
+	c.bsz = b
+	c.cols = make([]*mat.Matrix, tOut)
+	outs := make([]*mat.Matrix, tOut)
+
+	for to := 0; to < tOut; to++ {
+		col := mat.New(b, c.Kernel*c.InCh)
+		for k := 0; k < c.Kernel; k++ {
+			src := seq[to*c.Stride+k]
+			for i := 0; i < b; i++ {
+				copy(col.Row(i)[k*c.InCh:(k+1)*c.InCh], src.Row(i))
+			}
+		}
+		c.cols[to] = col
+		out := mat.New(b, c.OutCh)
+		mat.MulInto(out, col, c.W.W)
+		bias := c.B.W.Row(0)
+		for i := 0; i < b; i++ {
+			row := out.Row(i)
+			for j := range row {
+				row[j] += bias[j]
+			}
+		}
+		outs[to] = out
+	}
+	return outs
+}
+
+// Backward accumulates parameter gradients and returns the input-sequence
+// gradient.
+func (c *Conv1D) Backward(dOut []*mat.Matrix) []*mat.Matrix {
+	dxs := make([]*mat.Matrix, c.inT)
+	for t := range dxs {
+		dxs[t] = mat.New(c.bsz, c.InCh)
+	}
+	dcol := mat.New(c.bsz, c.Kernel*c.InCh)
+	for to, g := range dOut {
+		col := c.cols[to]
+		// dW += colᵀ·g ; db += Σg.
+		for i := 0; i < c.bsz; i++ {
+			crow := col.Row(i)
+			grow := g.Row(i)
+			for a, cv := range crow {
+				if cv == 0 {
+					continue
+				}
+				dst := c.W.Grad.Row(a)
+				for j, gv := range grow {
+					dst[j] += cv * gv
+				}
+			}
+			bg := c.B.Grad.Row(0)
+			for j, gv := range grow {
+				bg[j] += gv
+			}
+		}
+		// dcol = g·Wᵀ, scattered back to input steps.
+		mat.MulTransInto(dcol, g, c.W.W)
+		for k := 0; k < c.Kernel; k++ {
+			dst := dxs[to*c.Stride+k]
+			for i := 0; i < c.bsz; i++ {
+				drow := dst.Row(i)
+				src := dcol.Row(i)[k*c.InCh : (k+1)*c.InCh]
+				for j, v := range src {
+					drow[j] += v
+				}
+			}
+		}
+	}
+	return dxs
+}
+
+// Params returns the convolution trainables.
+func (c *Conv1D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// MaxPool1D takes the per-channel maximum over non-overlapping (or strided)
+// time windows.
+type MaxPool1D struct {
+	Kernel, Stride int
+
+	argmax [][]int // per output step: flattened (b·ch) winner step indices
+	inT    int
+	bsz    int
+	ch     int
+}
+
+// NewMaxPool1D builds the pooling layer.
+func NewMaxPool1D(kernel, stride int) *MaxPool1D {
+	return &MaxPool1D{Kernel: kernel, Stride: stride}
+}
+
+// OutLen returns the output sequence length for an input of length t.
+func (p *MaxPool1D) OutLen(t int) int {
+	if t < p.Kernel {
+		return 0
+	}
+	return (t-p.Kernel)/p.Stride + 1
+}
+
+// Forward applies max pooling over time.
+func (p *MaxPool1D) Forward(seq []*mat.Matrix) []*mat.Matrix {
+	tOut := p.OutLen(len(seq))
+	b := seq[0].Rows
+	ch := seq[0].Cols
+	p.inT = len(seq)
+	p.bsz = b
+	p.ch = ch
+	p.argmax = make([][]int, tOut)
+	outs := make([]*mat.Matrix, tOut)
+	for to := 0; to < tOut; to++ {
+		out := mat.New(b, ch)
+		arg := make([]int, b*ch)
+		for i := 0; i < b; i++ {
+			dst := out.Row(i)
+			for j := 0; j < ch; j++ {
+				best := math.Inf(-1)
+				bestT := -1
+				for k := 0; k < p.Kernel; k++ {
+					v := seq[to*p.Stride+k].At(i, j)
+					if v > best {
+						best = v
+						bestT = to*p.Stride + k
+					}
+				}
+				dst[j] = best
+				arg[i*ch+j] = bestT
+			}
+		}
+		outs[to] = out
+		p.argmax[to] = arg
+	}
+	return outs
+}
+
+// Backward routes gradients to the winning timesteps.
+func (p *MaxPool1D) Backward(dOut []*mat.Matrix) []*mat.Matrix {
+	dxs := make([]*mat.Matrix, p.inT)
+	for t := range dxs {
+		dxs[t] = mat.New(p.bsz, p.ch)
+	}
+	for to, g := range dOut {
+		arg := p.argmax[to]
+		for i := 0; i < p.bsz; i++ {
+			grow := g.Row(i)
+			for j := 0; j < p.ch; j++ {
+				t := arg[i*p.ch+j]
+				dxs[t].Set(i, j, dxs[t].At(i, j)+grow[j])
+			}
+		}
+	}
+	return dxs
+}

@@ -1,0 +1,286 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+)
+
+// ConvLSTM is the architecture the paper's future-work section singles out
+// (Shi et al., 2015): an LSTM whose input-to-state and state-to-state
+// transforms are convolutions instead of dense products. Here the "spatial"
+// axis is the sensor axis: at each timestep the 7 DCGM sensors form a 1-D
+// grid, gates are computed by kernel-3 same-padded convolutions over that
+// grid, and the hidden state keeps Maps feature maps per sensor position.
+type ConvLSTM struct {
+	Positions int // spatial length (sensors)
+	InMaps    int // input feature maps per position
+	Maps      int // hidden feature maps per position
+
+	convX *Conv1D // InMaps → 4·Maps, over the padded sensor axis
+	convH *Conv1D // Maps → 4·Maps
+
+	// Per-step caches for BPTT.
+	xs    [][]*mat.Matrix // padded spatial input per step
+	hs    [][]*mat.Matrix // hidden maps per step (hs[0] zero state)
+	cs    [][]*mat.Matrix
+	gates [][]*mat.Matrix // post-activation gates per step, per position (B×4Maps)
+	tanhC [][]*mat.Matrix
+	// Per-step conv instances sharing parameters with convX/convH so each
+	// keeps its own im2col cache for the backward pass.
+	stepConvX []*Conv1D
+	stepConvH []*Conv1D
+}
+
+// NewConvLSTM builds the layer for the given spatial length.
+func NewConvLSTM(positions, inMaps, maps int, rng *rand.Rand) *ConvLSTM {
+	l := &ConvLSTM{
+		Positions: positions,
+		InMaps:    inMaps,
+		Maps:      maps,
+		convX:     NewConv1D(inMaps, 4*maps, 3, 1, rng),
+		convH:     NewConv1D(maps, 4*maps, 3, 1, rng),
+	}
+	// Forget-gate bias to 1, as for the dense LSTM.
+	for j := maps; j < 2*maps; j++ {
+		l.convX.B.W.Set(0, j, 1)
+	}
+	return l
+}
+
+// shareParams returns a Conv1D aliasing c's parameters but with private
+// caches, so every timestep can run its own backward pass while gradients
+// accumulate into the shared weights.
+func shareParams(c *Conv1D) *Conv1D {
+	cp := *c
+	return &cp
+}
+
+// pad returns the spatial sequence with one zero matrix on each side
+// (same-padding for kernel 3).
+func pad(seq []*mat.Matrix, b, ch int) []*mat.Matrix {
+	z1 := mat.New(b, ch)
+	z2 := mat.New(b, ch)
+	out := make([]*mat.Matrix, 0, len(seq)+2)
+	out = append(out, z1)
+	out = append(out, seq...)
+	return append(out, z2)
+}
+
+// Forward consumes a batch sequence (T steps of B×Positions·InMaps laid out
+// position-major) and returns the final hidden state flattened to
+// B×Positions·Maps.
+func (l *ConvLSTM) Forward(seq []*mat.Matrix) *mat.Matrix {
+	t := len(seq)
+	b := seq[0].Rows
+	s := l.Positions
+	m := l.Maps
+
+	l.xs = make([][]*mat.Matrix, t)
+	l.hs = make([][]*mat.Matrix, t+1)
+	l.cs = make([][]*mat.Matrix, t+1)
+	l.gates = make([][]*mat.Matrix, t)
+	l.tanhC = make([][]*mat.Matrix, t)
+	l.stepConvX = make([]*Conv1D, t)
+	l.stepConvH = make([]*Conv1D, t)
+
+	zeroMaps := func() []*mat.Matrix {
+		out := make([]*mat.Matrix, s)
+		for p := range out {
+			out[p] = mat.New(b, m)
+		}
+		return out
+	}
+	l.hs[0] = zeroMaps()
+	l.cs[0] = zeroMaps()
+
+	for step := 0; step < t; step++ {
+		// Unpack the flat input into the spatial layout.
+		xsp := make([]*mat.Matrix, s)
+		for p := 0; p < s; p++ {
+			xm := mat.New(b, l.InMaps)
+			for i := 0; i < b; i++ {
+				for c := 0; c < l.InMaps; c++ {
+					xm.Set(i, c, seq[step].At(i, p*l.InMaps+c))
+				}
+			}
+			xsp[p] = xm
+		}
+		padX := pad(xsp, b, l.InMaps)
+		padH := pad(l.hs[step], b, m)
+		l.xs[step] = padX
+
+		cx := shareParams(l.convX)
+		ch := shareParams(l.convH)
+		l.stepConvX[step] = cx
+		l.stepConvH[step] = ch
+		gx := cx.Forward(padX) // s positions of B×4m
+		gh := ch.Forward(padH)
+
+		hNew := make([]*mat.Matrix, s)
+		cNew := make([]*mat.Matrix, s)
+		gateS := make([]*mat.Matrix, s)
+		tanhS := make([]*mat.Matrix, s)
+		for p := 0; p < s; p++ {
+			gates := mat.New(b, 4*m)
+			hp := mat.New(b, m)
+			cp := mat.New(b, m)
+			tp := mat.New(b, m)
+			cPrev := l.cs[step][p]
+			for i := 0; i < b; i++ {
+				gxr := gx[p].Row(i)
+				ghr := gh[p].Row(i)
+				gr := gates.Row(i)
+				cpr := cPrev.Row(i)
+				hr := hp.Row(i)
+				cr := cp.Row(i)
+				tr := tp.Row(i)
+				for j := 0; j < m; j++ {
+					ig := sigmoid(gxr[j] + ghr[j])
+					fg := sigmoid(gxr[m+j] + ghr[m+j])
+					gg := math.Tanh(gxr[2*m+j] + ghr[2*m+j])
+					og := sigmoid(gxr[3*m+j] + ghr[3*m+j])
+					gr[j], gr[m+j], gr[2*m+j], gr[3*m+j] = ig, fg, gg, og
+					c := fg*cpr[j] + ig*gg
+					cr[j] = c
+					tc := math.Tanh(c)
+					tr[j] = tc
+					hr[j] = og * tc
+				}
+			}
+			gateS[p] = gates
+			tanhS[p] = tp
+			hNew[p] = hp
+			cNew[p] = cp
+		}
+		l.gates[step] = gateS
+		l.tanhC[step] = tanhS
+		l.hs[step+1] = hNew
+		l.cs[step+1] = cNew
+	}
+
+	// Flatten the final hidden maps.
+	out := mat.New(b, s*m)
+	final := l.hs[t]
+	for p := 0; p < s; p++ {
+		for i := 0; i < b; i++ {
+			copy(out.Row(i)[p*m:(p+1)*m], final[p].Row(i))
+		}
+	}
+	return out
+}
+
+// Backward takes the gradient w.r.t. the flattened final hidden state and
+// runs BPTT, accumulating the shared convolution gradients. Input gradients
+// are not propagated further (the ConvLSTM is this model's first layer).
+func (l *ConvLSTM) Backward(grad *mat.Matrix) {
+	t := len(l.xs)
+	b := grad.Rows
+	s := l.Positions
+	m := l.Maps
+
+	dh := make([]*mat.Matrix, s)
+	dc := make([]*mat.Matrix, s)
+	for p := 0; p < s; p++ {
+		dhp := mat.New(b, m)
+		for i := 0; i < b; i++ {
+			copy(dhp.Row(i), grad.Row(i)[p*m:(p+1)*m])
+		}
+		dh[p] = dhp
+		dc[p] = mat.New(b, m)
+	}
+
+	for step := t - 1; step >= 0; step-- {
+		dGates := make([]*mat.Matrix, s)
+		dcPrev := make([]*mat.Matrix, s)
+		for p := 0; p < s; p++ {
+			dg := mat.New(b, 4*m)
+			dcp := mat.New(b, m)
+			gates := l.gates[step][p]
+			th := l.tanhC[step][p]
+			cPrev := l.cs[step][p]
+			for i := 0; i < b; i++ {
+				gr := gates.Row(i)
+				tr := th.Row(i)
+				dhr := dh[p].Row(i)
+				dcr := dc[p].Row(i)
+				cpr := cPrev.Row(i)
+				dgr := dg.Row(i)
+				dcpr := dcp.Row(i)
+				for j := 0; j < m; j++ {
+					ig, fg, gg, og := gr[j], gr[m+j], gr[2*m+j], gr[3*m+j]
+					tc := tr[j]
+					dcv := dcr[j] + dhr[j]*og*(1-tc*tc)
+					dgr[j] = dcv * gg * ig * (1 - ig)
+					dgr[m+j] = dcv * cpr[j] * fg * (1 - fg)
+					dgr[2*m+j] = dcv * ig * (1 - gg*gg)
+					dgr[3*m+j] = dhr[j] * tc * og * (1 - og)
+					dcpr[j] = dcv * fg
+				}
+			}
+			dGates[p] = dg
+			dcPrev[p] = dcp
+		}
+
+		// Both convolutions saw the same pre-activation sum, so each gets
+		// the full gate gradient.
+		l.stepConvX[step].Backward(dGates)
+		dPadH := l.stepConvH[step].Backward(dGates)
+
+		// Recurrent hidden gradient: strip the padding positions.
+		for p := 0; p < s; p++ {
+			dh[p] = dPadH[p+1]
+			dc[p] = dcPrev[p]
+		}
+	}
+}
+
+// Params returns the shared convolution parameters.
+func (l *ConvLSTM) Params() []*Param {
+	return append(l.convX.Params(), l.convH.Params()...)
+}
+
+// ConvLSTMClassifier is the future-work architecture end to end: ConvLSTM
+// over the sensor grid, final hidden maps flattened into the paper's
+// standard classification head.
+type ConvLSTMClassifier struct {
+	name string
+	rnn  *ConvLSTM
+	head *head
+}
+
+// NewConvLSTMClassifier builds the model for (seqLen × sensors) windows.
+func NewConvLSTMClassifier(sensors, maps, seqLen, numClasses int, seed int64) (*ConvLSTMClassifier, error) {
+	if sensors < 3 {
+		return nil, fmt.Errorf("nn: ConvLSTM needs ≥3 sensor positions, got %d", sensors)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &ConvLSTMClassifier{
+		name: fmt.Sprintf("ConvLSTM (maps=%d)", maps),
+		rnn:  NewConvLSTM(sensors, 1, maps, rng),
+	}
+	m.head = newHead(sensors*maps, seqLen, numClasses, rng)
+	return m, nil
+}
+
+// Name identifies the model in tables.
+func (m *ConvLSTMClassifier) Name() string { return m.name }
+
+// Forward returns log-probabilities for the batch.
+func (m *ConvLSTMClassifier) Forward(seq []*mat.Matrix, train bool) *mat.Matrix {
+	final := m.rnn.Forward(seq)
+	return m.head.forward(final, train)
+}
+
+// Backward propagates the loss gradient.
+func (m *ConvLSTMClassifier) Backward(grad *mat.Matrix) {
+	g := m.head.backward(grad)
+	m.rnn.Backward(g)
+}
+
+// Params returns all trainables.
+func (m *ConvLSTMClassifier) Params() []*Param {
+	return append(m.rnn.Params(), m.head.params()...)
+}

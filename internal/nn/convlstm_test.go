@@ -1,0 +1,92 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestConvLSTMForwardShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewConvLSTM(7, 1, 4, rng)
+	seq := make([]*mat.Matrix, 5)
+	for s := range seq {
+		seq[s] = mat.New(3, 7)
+		for i := range seq[s].Data {
+			seq[s].Data[i] = rng.NormFloat64()
+		}
+	}
+	out := l.Forward(seq)
+	if out.Rows != 3 || out.Cols != 7*4 {
+		t.Fatalf("final hidden shape %dx%d, want 3x28", out.Rows, out.Cols)
+	}
+}
+
+// TestConvLSTMGradCheck verifies the full BPTT through the convolutional
+// gates against numerical differentiation.
+func TestConvLSTMGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := NewConvLSTM(5, 1, 2, rng)
+	seqLen, batch := 3, 2
+	seq := make([]*mat.Matrix, seqLen)
+	for s := range seq {
+		seq[s] = mat.New(batch, 5)
+		for i := range seq[s].Data {
+			seq[s].Data[i] = rng.NormFloat64()
+		}
+	}
+	y := []int{1, 0}
+	ls := &LogSoftmax{}
+	dense := NewDense(5*2, 2, rng)
+
+	loss := func() float64 {
+		out := ls.Forward(dense.Forward(l.Forward(seq)))
+		v, _ := NLLLoss(out, y)
+		return v
+	}
+	out := ls.Forward(dense.Forward(l.Forward(seq)))
+	_, grad := NLLLoss(out, y)
+	params := append(l.Params(), dense.Params()...)
+	ZeroGrads(params)
+	l.Backward(dense.Backward(ls.Backward(grad)))
+
+	for _, p := range l.Params() {
+		step := len(p.W.Data)/6 + 1
+		for i := 0; i < len(p.W.Data); i += step {
+			num := numericalGrad(loss, p.W.Data, i)
+			if math.Abs(num-p.Grad.Data[i]) > 1e-5*(1+math.Abs(num)) {
+				t.Fatalf("%s[%d]: analytic %v numeric %v", p.Name, i, p.Grad.Data[i], num)
+			}
+		}
+	}
+}
+
+func TestConvLSTMClassifierTrains(t *testing.T) {
+	s, y := makeSynth(60, 12, 7, 2, 7)
+	model, err := NewConvLSTMClassifier(7, 4, 12, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 8
+	cfg.Patience = 8
+	cfg.BatchSize = 16
+	res, err := Train(model, s, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestValAcc < 0.4 {
+		t.Errorf("ConvLSTM best val acc %v", res.BestValAcc)
+	}
+	if model.Name() != "ConvLSTM (maps=4)" {
+		t.Errorf("name = %q", model.Name())
+	}
+}
+
+func TestConvLSTMClassifierErrors(t *testing.T) {
+	if _, err := NewConvLSTMClassifier(2, 4, 10, 2, 1); err == nil {
+		t.Error("too few sensor positions should fail")
+	}
+}

@@ -1,0 +1,219 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+)
+
+// Dense is a fully-connected layer: y = xW + b.
+type Dense struct {
+	W *Param // in×out
+	B *Param // 1×out
+
+	x *mat.Matrix // cached input
+}
+
+// NewDense builds a Glorot-initialised dense layer.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{W: newParam("dense.W", in, out), B: newParam("dense.b", 1, out)}
+	glorotInit(d.W.W, in, out, rng)
+	return d
+}
+
+// Forward computes xW + b for a B×in batch.
+func (d *Dense) Forward(x *mat.Matrix) *mat.Matrix {
+	d.x = x
+	out := mat.New(x.Rows, d.W.W.Cols)
+	mat.MulInto(out, x, d.W.W)
+	bias := d.B.W.Row(0)
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] += bias[j]
+		}
+	}
+	return out
+}
+
+// Backward accumulates parameter gradients and returns the input gradient.
+func (d *Dense) Backward(grad *mat.Matrix) *mat.Matrix {
+	// dW += xᵀ·grad
+	for i := 0; i < d.x.Rows; i++ {
+		xrow := d.x.Row(i)
+		grow := grad.Row(i)
+		for a, xv := range xrow {
+			if xv == 0 {
+				continue
+			}
+			dst := d.W.Grad.Row(a)
+			for b, gv := range grow {
+				dst[b] += xv * gv
+			}
+		}
+	}
+	// db += column sums of grad
+	bgrad := d.B.Grad.Row(0)
+	for i := 0; i < grad.Rows; i++ {
+		for j, gv := range grad.Row(i) {
+			bgrad[j] += gv
+		}
+	}
+	// dx = grad·Wᵀ
+	dx := mat.New(grad.Rows, d.W.W.Rows)
+	mat.MulTransInto(dx, grad, d.W.W)
+	return dx
+}
+
+// Params returns the layer's trainables.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// LeakyReLU applies max(αx, x) element-wise (the paper's non-linearity).
+type LeakyReLU struct {
+	Alpha float64
+	x     *mat.Matrix
+}
+
+// NewLeakyReLU uses the conventional slope 0.01 when alpha ≤ 0.
+func NewLeakyReLU(alpha float64) *LeakyReLU {
+	if alpha <= 0 {
+		alpha = 0.01
+	}
+	return &LeakyReLU{Alpha: alpha}
+}
+
+// Forward applies the activation.
+func (l *LeakyReLU) Forward(x *mat.Matrix) *mat.Matrix {
+	l.x = x
+	out := mat.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+		} else {
+			out.Data[i] = l.Alpha * v
+		}
+	}
+	return out
+}
+
+// Backward gates the incoming gradient.
+func (l *LeakyReLU) Backward(grad *mat.Matrix) *mat.Matrix {
+	dx := mat.New(grad.Rows, grad.Cols)
+	for i, v := range l.x.Data {
+		if v > 0 {
+			dx.Data[i] = grad.Data[i]
+		} else {
+			dx.Data[i] = l.Alpha * grad.Data[i]
+		}
+	}
+	return dx
+}
+
+// Dropout zeroes activations with probability P during training, scaling
+// the survivors by 1/(1-P) (inverted dropout), and is the identity at
+// evaluation time.
+type Dropout struct {
+	P    float64
+	rng  *rand.Rand
+	mask []float64
+}
+
+// NewDropout builds a dropout layer (the paper uses p = 0.5).
+func NewDropout(p float64, rng *rand.Rand) *Dropout {
+	return &Dropout{P: p, rng: rng}
+}
+
+// Forward applies dropout when train is true.
+func (d *Dropout) Forward(x *mat.Matrix, train bool) *mat.Matrix {
+	if !train || d.P <= 0 {
+		d.mask = nil
+		return x
+	}
+	out := mat.New(x.Rows, x.Cols)
+	d.mask = make([]float64, len(x.Data))
+	keep := 1 - d.P
+	inv := 1 / keep
+	for i, v := range x.Data {
+		if d.rng.Float64() < keep {
+			d.mask[i] = inv
+			out.Data[i] = v * inv
+		}
+	}
+	return out
+}
+
+// Backward routes gradients through the surviving units.
+func (d *Dropout) Backward(grad *mat.Matrix) *mat.Matrix {
+	if d.mask == nil {
+		return grad
+	}
+	dx := mat.New(grad.Rows, grad.Cols)
+	for i, g := range grad.Data {
+		dx.Data[i] = g * d.mask[i]
+	}
+	return dx
+}
+
+// LogSoftmax computes row-wise log-probabilities.
+type LogSoftmax struct {
+	out *mat.Matrix
+}
+
+// Forward returns log softmax of each row.
+func (l *LogSoftmax) Forward(x *mat.Matrix) *mat.Matrix {
+	out := mat.New(x.Rows, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		src := x.Row(i)
+		dst := out.Row(i)
+		max := src[0]
+		for _, v := range src[1:] {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		for j, v := range src {
+			dst[j] = v - max
+			sum += math.Exp(dst[j])
+		}
+		lse := math.Log(sum)
+		for j := range dst {
+			dst[j] -= lse
+		}
+	}
+	l.out = out
+	return out
+}
+
+// Backward converts a gradient w.r.t. log-probabilities into a gradient
+// w.r.t. the logits: dx = g − softmax(x)·Σg.
+func (l *LogSoftmax) Backward(grad *mat.Matrix) *mat.Matrix {
+	dx := mat.New(grad.Rows, grad.Cols)
+	for i := 0; i < grad.Rows; i++ {
+		g := grad.Row(i)
+		lp := l.out.Row(i)
+		var sum float64
+		for _, v := range g {
+			sum += v
+		}
+		dst := dx.Row(i)
+		for j := range dst {
+			dst[j] = g[j] - math.Exp(lp[j])*sum
+		}
+	}
+	return dx
+}
+
+// NLLLoss computes the negative log-likelihood of the true classes given
+// log-probabilities, averaged over the batch, together with the gradient
+// w.r.t. the log-probabilities (the paper's loss on the log-softmax output).
+func NLLLoss(logProbs *mat.Matrix, y []int) (loss float64, grad *mat.Matrix) {
+	grad = mat.New(logProbs.Rows, logProbs.Cols)
+	invB := 1.0 / float64(logProbs.Rows)
+	for i := 0; i < logProbs.Rows; i++ {
+		loss -= logProbs.At(i, y[i]) * invB
+		grad.Set(i, y[i], -invB)
+	}
+	return loss, grad
+}

@@ -1,0 +1,72 @@
+package nn
+
+import "math"
+
+// Adam is the Adam optimizer with bias correction.
+type Adam struct {
+	Beta1, Beta2, Eps float64
+
+	step int
+	m    map[*Param][]float64
+	v    map[*Param][]float64
+}
+
+// NewAdam builds an optimizer with the standard β₁=0.9, β₂=0.999 defaults.
+func NewAdam() *Adam {
+	return &Adam{
+		Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param][]float64),
+		v: make(map[*Param][]float64),
+	}
+}
+
+// Step applies one update with the given learning rate (supplied per step
+// by the cyclical schedule) and the gradients currently accumulated in the
+// params.
+func (a *Adam) Step(params []*Param, lr float64) {
+	a.step++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float64, len(p.W.Data))
+			a.m[p] = m
+			a.v[p] = make([]float64, len(p.W.Data))
+		}
+		v := a.v[p]
+		for i, g := range p.Grad.Data {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mh := m[i] / c1
+			vh := v[i] / c2
+			p.W.Data[i] -= lr * mh / (math.Sqrt(vh) + a.Eps)
+		}
+	}
+}
+
+// CyclicalCosineLR implements the paper's cyclical learning-rate schedule
+// with cosine annealing: within each cycle the rate decays from Max to Min
+// along a half cosine, then restarts.
+type CyclicalCosineLR struct {
+	Min, Max float64
+	// CycleSteps is the number of optimizer steps per cycle.
+	CycleSteps int
+}
+
+// NewCyclicalCosineLR validates and builds the schedule.
+func NewCyclicalCosineLR(min, max float64, cycleSteps int) *CyclicalCosineLR {
+	if cycleSteps <= 0 {
+		cycleSteps = 1
+	}
+	if min > max {
+		min, max = max, min
+	}
+	return &CyclicalCosineLR{Min: min, Max: max, CycleSteps: cycleSteps}
+}
+
+// At returns the learning rate for optimizer step t (0-based).
+func (s *CyclicalCosineLR) At(t int) float64 {
+	pos := float64(t%s.CycleSteps) / float64(s.CycleSteps)
+	return s.Min + 0.5*(s.Max-s.Min)*(1+math.Cos(math.Pi*pos))
+}

@@ -1,0 +1,70 @@
+// Package nn is the sequence-model library behind the paper's Section V
+// baselines: bidirectional LSTMs and CNN-LSTMs with the exact head the
+// paper describes (concatenated final hidden states → fully-connected layer
+// sized to the sequence length → dropout(0.5) → leaky ReLU →
+// fully-connected → log-softmax), trained with Adam under a cyclical
+// cosine-annealing learning-rate schedule with early stopping.
+//
+// Layers cache their forward activations and implement explicit backward
+// passes; there is no autodiff. Batches of sequences are represented as a
+// slice of T matrices, each B×C (batch × channels), so recurrent layers
+// iterate over time with contiguous per-step matrices.
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+)
+
+// Param is one trainable tensor with its gradient accumulator.
+type Param struct {
+	Name string
+	W    *mat.Matrix
+	Grad *mat.Matrix
+}
+
+// newParam allocates a zeroed parameter and gradient.
+func newParam(name string, rows, cols int) *Param {
+	return &Param{Name: name, W: mat.New(rows, cols), Grad: mat.New(rows, cols)}
+}
+
+// glorotInit fills w with Glorot/Xavier-uniform values for the given fan-in
+// and fan-out.
+func glorotInit(w *mat.Matrix, fanIn, fanOut int, rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range w.Data {
+		w.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// ZeroGrads clears the gradients of all params.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		for i := range p.Grad.Data {
+			p.Grad.Data[i] = 0
+		}
+	}
+}
+
+// ClipGradNorm scales gradients so their global L2 norm is at most maxNorm,
+// returning the pre-clip norm. Standard practice for stabilising BPTT.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			sq += g * g
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] *= scale
+			}
+		}
+	}
+	return norm
+}

@@ -1,0 +1,119 @@
+package npz
+
+import (
+	"archive/zip"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Archive is an in-memory .npz file: a set of named arrays.
+type Archive struct {
+	arrays map[string]*Array
+}
+
+// NewArchive returns an empty archive.
+func NewArchive() *Archive {
+	return &Archive{arrays: make(map[string]*Array)}
+}
+
+// Set stores an array under name (without the ".npy" suffix).
+func (ar *Archive) Set(name string, a *Array) { ar.arrays[name] = a }
+
+// Get retrieves an array by name.
+func (ar *Archive) Get(name string) (*Array, bool) {
+	a, ok := ar.arrays[name]
+	return a, ok
+}
+
+// Names returns the sorted array names.
+func (ar *Archive) Names() []string {
+	names := make([]string, 0, len(ar.arrays))
+	for n := range ar.arrays {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteTo serialises the archive as a ZIP of .npy members (stored, not
+// deflated, matching numpy.savez).
+func (ar *Archive) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	zw := zip.NewWriter(cw)
+	for _, name := range ar.Names() {
+		hdr := &zip.FileHeader{Name: name + ".npy", Method: zip.Store}
+		f, err := zw.CreateHeader(hdr)
+		if err != nil {
+			return cw.n, err
+		}
+		if err := WriteNpy(f, ar.arrays[name]); err != nil {
+			return cw.n, fmt.Errorf("npz: writing %s: %w", name, err)
+		}
+	}
+	if err := zw.Close(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// WriteFile saves the archive to path.
+func (ar *Archive) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := ar.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadArchive parses a .npz archive from raw bytes.
+func ReadArchive(data []byte) (*Archive, error) {
+	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return nil, fmt.Errorf("npz: not a zip archive: %w", err)
+	}
+	ar := NewArchive()
+	for _, f := range zr.File {
+		name := f.Name
+		if len(name) > 4 && name[len(name)-4:] == ".npy" {
+			name = name[:len(name)-4]
+		}
+		rc, err := f.Open()
+		if err != nil {
+			return nil, err
+		}
+		a, err := ReadNpy(rc)
+		rc.Close()
+		if err != nil {
+			return nil, fmt.Errorf("npz: member %s: %w", f.Name, err)
+		}
+		ar.Set(name, a)
+	}
+	return ar, nil
+}
+
+// ReadFile loads a .npz archive from disk.
+func ReadFile(path string) (*Archive, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ReadArchive(data)
+}

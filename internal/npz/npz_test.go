@@ -1,0 +1,239 @@
+package npz
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTripNpy(t *testing.T, a *Array) *Array {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteNpy(&buf, a); err != nil {
+		t.Fatalf("WriteNpy: %v", err)
+	}
+	got, err := ReadNpy(&buf)
+	if err != nil {
+		t.Fatalf("ReadNpy: %v", err)
+	}
+	return got
+}
+
+func TestNpyFloat64RoundTrip(t *testing.T) {
+	a, err := FromFloat64s([]float64{1.5, -2.25, math.Pi, 0, 1e300, -1e-300}, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := roundTripNpy(t, a)
+	if !reflect.DeepEqual(got.Shape, []int{2, 3}) || got.DType != "<f8" {
+		t.Errorf("shape/dtype = %v %q", got.Shape, got.DType)
+	}
+	if !reflect.DeepEqual(got.Float64s, a.Float64s) {
+		t.Errorf("data = %v, want %v", got.Float64s, a.Float64s)
+	}
+}
+
+func TestNpyFloat32RoundTrip(t *testing.T) {
+	a, err := FromFloat32s([]float32{1.5, -7.75, 3.25e8}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := roundTripNpy(t, a)
+	if got.DType != "<f4" || !reflect.DeepEqual(got.Float32s, a.Float32s) {
+		t.Errorf("got %v %q", got.Float32s, got.DType)
+	}
+}
+
+func TestNpyInt64RoundTrip(t *testing.T) {
+	a, err := FromInt64s([]int64{-5, 0, 9223372036854775807}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := roundTripNpy(t, a)
+	if !reflect.DeepEqual(got.Int64s, a.Int64s) {
+		t.Errorf("got %v", got.Int64s)
+	}
+}
+
+func TestNpyStringsRoundTrip(t *testing.T) {
+	a := FromStrings([]string{"VGG16", "ResNet50_v1.5", "U3-128", "Bert", ""})
+	if !strings.HasPrefix(a.DType, "<U") {
+		t.Fatalf("dtype = %q", a.DType)
+	}
+	got := roundTripNpy(t, a)
+	if !reflect.DeepEqual(got.Strings, a.Strings) {
+		t.Errorf("got %v, want %v", got.Strings, a.Strings)
+	}
+}
+
+func TestNpyUnicodeStrings(t *testing.T) {
+	a := FromStrings([]string{"日本語", "ünïcode"})
+	got := roundTripNpy(t, a)
+	if !reflect.DeepEqual(got.Strings, a.Strings) {
+		t.Errorf("got %v, want %v", got.Strings, a.Strings)
+	}
+}
+
+func TestNpy1DShapeTuple(t *testing.T) {
+	// 1-D arrays must serialise shape as "(n,)".
+	a, _ := FromFloat64s([]float64{1, 2, 3}, 3)
+	var buf bytes.Buffer
+	if err := WriteNpy(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("(3,)")) {
+		t.Error("1-D shape not serialised as (3,)")
+	}
+}
+
+func TestNpyHeaderAlignment(t *testing.T) {
+	a, _ := FromFloat64s([]float64{1}, 1)
+	var buf bytes.Buffer
+	if err := WriteNpy(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	// Data must start at a multiple of 64.
+	dataStart := buf.Len() - 8
+	if dataStart%64 != 0 {
+		t.Errorf("data starts at %d, not 64-aligned", dataStart)
+	}
+}
+
+func TestNpyErrors(t *testing.T) {
+	if _, err := FromFloat64s([]float64{1, 2}, 3); err == nil {
+		t.Error("shape mismatch should fail")
+	}
+	if _, err := ReadNpy(bytes.NewReader([]byte("not npy"))); err == nil {
+		t.Error("bad magic should fail")
+	}
+	var empty Array
+	if err := WriteNpy(&bytes.Buffer{}, &empty); err == nil {
+		t.Error("empty array should fail")
+	}
+}
+
+func TestParseHeaderVariants(t *testing.T) {
+	dtype, fortran, shape, err := parseHeader("{'descr': '<f8', 'fortran_order': False, 'shape': (14590, 540, 7), }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dtype != "<f8" || fortran || !reflect.DeepEqual(shape, []int{14590, 540, 7}) {
+		t.Errorf("parsed %q %v %v", dtype, fortran, shape)
+	}
+	_, fortran, shape, err = parseHeader("{'descr': '<i8', 'fortran_order': True, 'shape': (), }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fortran || len(shape) != 0 {
+		t.Errorf("scalar header parsed %v %v", fortran, shape)
+	}
+	if _, _, _, err := parseHeader("{}"); err == nil {
+		t.Error("headerless dict should fail")
+	}
+}
+
+func TestNpzArchiveRoundTrip(t *testing.T) {
+	ar := NewArchive()
+	x, _ := FromFloat64s([]float64{1, 2, 3, 4, 5, 6}, 1, 2, 3)
+	y, _ := FromInt64s([]int64{3, 1, 4}, 3)
+	ar.Set("X_train", x)
+	ar.Set("y_train", y)
+	ar.Set("model_train", FromStrings([]string{"VGG11", "Bert", "SchNet"}))
+
+	var buf bytes.Buffer
+	if _, err := ar.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArchive(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Names(), []string{"X_train", "model_train", "y_train"}) {
+		t.Errorf("names = %v", got.Names())
+	}
+	gx, ok := got.Get("X_train")
+	if !ok || !reflect.DeepEqual(gx.Shape, []int{1, 2, 3}) {
+		t.Errorf("X_train = %+v", gx)
+	}
+	gm, _ := got.Get("model_train")
+	if gm.Strings[2] != "SchNet" {
+		t.Errorf("model_train = %v", gm.Strings)
+	}
+}
+
+func TestNpzFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.npz")
+	ar := NewArchive()
+	x, _ := FromFloat32s([]float32{9, 8, 7}, 3)
+	ar.Set("x", x)
+	if err := ar.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gx, ok := got.Get("x")
+	if !ok || gx.Float32s[0] != 9 {
+		t.Errorf("got %+v", gx)
+	}
+}
+
+func TestAsFloat64sConversions(t *testing.T) {
+	i32 := &Array{Shape: []int{2}, DType: "<i4", Int32s: []int32{1, -2}}
+	f, err := i32.AsFloat64s()
+	if err != nil || f[1] != -2 {
+		t.Errorf("i4→f8 = %v, %v", f, err)
+	}
+	s := FromStrings([]string{"a"})
+	if _, err := s.AsFloat64s(); err == nil {
+		t.Error("strings should not convert to floats")
+	}
+}
+
+func TestAsInts(t *testing.T) {
+	f, _ := FromFloat64s([]float64{1, 2, 3}, 3)
+	ints, err := f.AsInts()
+	if err != nil || ints[2] != 3 {
+		t.Errorf("AsInts = %v, %v", ints, err)
+	}
+	frac, _ := FromFloat64s([]float64{1.5}, 1)
+	if _, err := frac.AsInts(); err == nil {
+		t.Error("fractional float should not convert to ints")
+	}
+}
+
+// TestNpyRoundTripProperty fuzzes random float64 arrays through a write/read
+// cycle — data must survive bit-exactly.
+func TestNpyRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(5), 1+r.Intn(5)
+		data := make([]float64, rows*cols)
+		for i := range data {
+			data[i] = r.NormFloat64() * math.Pow(10, float64(r.Intn(10)-5))
+		}
+		a, err := FromFloat64s(data, rows, cols)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteNpy(&buf, a); err != nil {
+			return false
+		}
+		got, err := ReadNpy(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got.Float64s, data) && reflect.DeepEqual(got.Shape, []int{rows, cols})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

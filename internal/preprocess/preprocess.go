@@ -1,0 +1,208 @@
+// Package preprocess implements the paper's feature pipeline:
+// StandardScaler (scikit-learn semantics), PCA, and the covariance
+// upper-triangle embedding that maps a standardised 540×7 trial to the 28
+// unique sensor variances/covariances (§IV-A).
+//
+// The order matches the paper exactly: trials are flattened to R^{T·C},
+// standardised per column on the training set, and only then reduced by
+// PCA or the covariance embedding.
+package preprocess
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mat"
+)
+
+// StandardScaler standardises columns to zero mean and unit variance using
+// training-set statistics, like scikit-learn's StandardScaler (population
+// std, constant columns left unscaled).
+type StandardScaler struct {
+	Means []float64
+	Stds  []float64
+}
+
+// Fit computes per-column statistics from x.
+func (s *StandardScaler) Fit(x *mat.Matrix) error {
+	if x.Rows == 0 {
+		return errors.New("preprocess: cannot fit scaler on empty matrix")
+	}
+	s.Means = mat.ColumnMeans(x)
+	s.Stds = mat.ColumnStds(x, s.Means)
+	for i, v := range s.Stds {
+		if v == 0 {
+			s.Stds[i] = 1 // constant column: centre only
+		}
+	}
+	return nil
+}
+
+// Transform returns a standardised copy of x.
+func (s *StandardScaler) Transform(x *mat.Matrix) (*mat.Matrix, error) {
+	if s.Means == nil {
+		return nil, errors.New("preprocess: scaler not fitted")
+	}
+	if x.Cols != len(s.Means) {
+		return nil, fmt.Errorf("preprocess: %d columns, scaler fitted on %d", x.Cols, len(s.Means))
+	}
+	out := mat.New(x.Rows, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		src := x.Row(i)
+		dst := out.Row(i)
+		for j := range src {
+			dst[j] = (src[j] - s.Means[j]) / s.Stds[j]
+		}
+	}
+	return out, nil
+}
+
+// FitTransform fits on x and returns its standardised copy.
+func (s *StandardScaler) FitTransform(x *mat.Matrix) (*mat.Matrix, error) {
+	if err := s.Fit(x); err != nil {
+		return nil, err
+	}
+	return s.Transform(x)
+}
+
+// PCA projects observations onto the leading principal components of the
+// training distribution.
+type PCA struct {
+	Components   *mat.Matrix // d×k, columns are principal axes
+	Means        []float64
+	ExplainedVar []float64 // eigenvalues, descending
+}
+
+// exactThreshold is the dimensionality below which the exact Jacobi solver
+// is used; above it the randomized top-k solver avoids forming the d×d
+// covariance (PCA on 3,780-dim flattened trials).
+const exactThreshold = 256
+
+// FitPCA learns a k-component PCA from x (one observation per row).
+func FitPCA(x *mat.Matrix, k int, seed int64) (*PCA, error) {
+	if k <= 0 || k > x.Cols {
+		return nil, fmt.Errorf("preprocess: PCA k=%d out of range for %d features", k, x.Cols)
+	}
+	if x.Rows < 2 {
+		return nil, errors.New("preprocess: PCA needs at least two observations")
+	}
+	p := &PCA{Means: mat.ColumnMeans(x)}
+
+	centered := mat.New(x.Rows, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		src := x.Row(i)
+		dst := centered.Row(i)
+		for j := range src {
+			dst[j] = src[j] - p.Means[j]
+		}
+	}
+
+	if x.Cols <= exactThreshold {
+		cov, err := mat.Covariance(centered, false)
+		if err != nil {
+			return nil, err
+		}
+		vals, vecs, err := mat.EigSym(cov)
+		if err != nil {
+			return nil, err
+		}
+		p.ExplainedVar = vals[:k]
+		p.Components = mat.New(x.Cols, k)
+		for c := 0; c < k; c++ {
+			for r := 0; r < x.Cols; r++ {
+				p.Components.Set(r, c, vecs.At(r, c))
+			}
+		}
+		return p, nil
+	}
+
+	vals, vecs, err := mat.EigSymTopK(centered, k, 3, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	p.ExplainedVar = vals
+	p.Components = vecs
+	return p, nil
+}
+
+// Transform projects x onto the fitted components, returning rows in R^k.
+func (p *PCA) Transform(x *mat.Matrix) (*mat.Matrix, error) {
+	if p.Components == nil {
+		return nil, errors.New("preprocess: PCA not fitted")
+	}
+	if x.Cols != p.Components.Rows {
+		return nil, fmt.Errorf("preprocess: %d features, PCA fitted on %d", x.Cols, p.Components.Rows)
+	}
+	out := mat.New(x.Rows, p.Components.Cols)
+	row := make([]float64, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		src := x.Row(i)
+		for j := range row {
+			row[j] = src[j] - p.Means[j]
+		}
+		dst := out.Row(i)
+		for c := 0; c < p.Components.Cols; c++ {
+			var s float64
+			for r, v := range row {
+				s += v * p.Components.At(r, c)
+			}
+			dst[c] = s
+		}
+	}
+	return out, nil
+}
+
+// CovarianceDim returns the embedding size for c sensors: c(c+1)/2 unique
+// entries of the upper triangle (28 for the challenge's 7 sensors).
+func CovarianceDim(c int) int { return c * (c + 1) / 2 }
+
+// CovarianceEmbed maps each row of z — a flattened standardised trial in
+// R^{T·C} — to the upper triangle of MᵀM/(T-1), where M is the trial
+// reshaped to T×C. This is the paper's second dimensionality-reduction
+// technique: R^{n×540×7} ↦ R^{n×28}.
+func CovarianceEmbed(z *mat.Matrix, t, c int) (*mat.Matrix, error) {
+	if t < 2 || c < 1 {
+		return nil, fmt.Errorf("preprocess: invalid trial shape %dx%d", t, c)
+	}
+	if z.Cols != t*c {
+		return nil, fmt.Errorf("preprocess: %d columns cannot reshape to %dx%d", z.Cols, t, c)
+	}
+	dim := CovarianceDim(c)
+	out := mat.New(z.Rows, dim)
+	inv := 1.0 / float64(t-1)
+	for i := 0; i < z.Rows; i++ {
+		trial := z.Row(i) // row-major T×C
+		dst := out.Row(i)
+		k := 0
+		for a := 0; a < c; a++ {
+			for b := a; b < c; b++ {
+				var s float64
+				for step := 0; step < t; step++ {
+					s += trial[step*c+a] * trial[step*c+b]
+				}
+				dst[k] = s * inv
+				k++
+			}
+		}
+	}
+	return out, nil
+}
+
+// CovariancePairNames labels the embedding dimensions with the sensor-pair
+// each entry couples, in the same order CovarianceEmbed emits them:
+// "var(s0)", "cov(s0,s1)", ..., used by the feature-importance analysis.
+func CovariancePairNames(sensorNames []string) []string {
+	c := len(sensorNames)
+	names := make([]string, 0, CovarianceDim(c))
+	for a := 0; a < c; a++ {
+		for b := a; b < c; b++ {
+			if a == b {
+				names = append(names, "var("+sensorNames[a]+")")
+			} else {
+				names = append(names, "cov("+sensorNames[a]+","+sensorNames[b]+")")
+			}
+		}
+	}
+	return names
+}

@@ -1,0 +1,278 @@
+package preprocess
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+func TestStandardScaler(t *testing.T) {
+	x, _ := mat.FromRows([][]float64{{1, 100}, {3, 300}, {5, 500}})
+	var s StandardScaler
+	z, err := s.FitTransform(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := mat.ColumnMeans(z)
+	stds := mat.ColumnStds(z, means)
+	for j := 0; j < 2; j++ {
+		if math.Abs(means[j]) > 1e-12 || math.Abs(stds[j]-1) > 1e-12 {
+			t.Errorf("column %d: mean %v std %v", j, means[j], stds[j])
+		}
+	}
+}
+
+func TestStandardScalerConstantColumn(t *testing.T) {
+	x, _ := mat.FromRows([][]float64{{7, 1}, {7, 2}})
+	var s StandardScaler
+	z, err := s.FitTransform(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.At(0, 0) != 0 || z.At(1, 0) != 0 {
+		t.Errorf("constant column should centre to zero, got %v %v", z.At(0, 0), z.At(1, 0))
+	}
+}
+
+func TestStandardScalerTrainTestConsistency(t *testing.T) {
+	// Test data must use train statistics, not its own.
+	train, _ := mat.FromRows([][]float64{{0}, {2}})
+	test, _ := mat.FromRows([][]float64{{4}})
+	var s StandardScaler
+	if _, err := s.FitTransform(train); err != nil {
+		t.Fatal(err)
+	}
+	z, err := s.Transform(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(z.At(0, 0)-3) > 1e-12 { // (4-1)/1
+		t.Errorf("test transform = %v, want 3", z.At(0, 0))
+	}
+}
+
+func TestStandardScalerErrors(t *testing.T) {
+	var s StandardScaler
+	if _, err := s.Transform(mat.New(1, 1)); err == nil {
+		t.Error("transform before fit should fail")
+	}
+	if err := s.Fit(mat.New(0, 3)); err == nil {
+		t.Error("fit on empty should fail")
+	}
+	s2 := StandardScaler{}
+	x, _ := mat.FromRows([][]float64{{1, 2}})
+	if err := s2.Fit(x); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Transform(mat.New(1, 3)); err == nil {
+		t.Error("column mismatch should fail")
+	}
+}
+
+func TestPCARecoverDominantDirection(t *testing.T) {
+	// Data varies mostly along (1,1)/√2; PC1 must align with it.
+	rng := rand.New(rand.NewSource(2))
+	x := mat.New(300, 2)
+	for i := 0; i < 300; i++ {
+		s := rng.NormFloat64() * 10
+		n := rng.NormFloat64() * 0.5
+		x.Set(i, 0, s+n)
+		x.Set(i, 1, s-n)
+	}
+	p, err := FitPCA(x, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0, v1 := p.Components.At(0, 0), p.Components.At(1, 0)
+	if math.Abs(math.Abs(v0)-math.Sqrt(0.5)) > 0.02 || math.Abs(v0-v1) > 0.04 {
+		t.Errorf("PC1 = (%v, %v), want ±(0.707, 0.707)", v0, v1)
+	}
+	if p.ExplainedVar[0] < 50 {
+		t.Errorf("explained variance %v too small", p.ExplainedVar[0])
+	}
+}
+
+func TestPCATransformShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := mat.New(50, 10)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	p, err := FitPCA(x, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := p.Transform(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Rows != 50 || z.Cols != 4 {
+		t.Fatalf("transform shape %dx%d", z.Rows, z.Cols)
+	}
+	// Projected data must be centred.
+	means := mat.ColumnMeans(z)
+	for j, m := range means {
+		if math.Abs(m) > 1e-8 {
+			t.Errorf("projected column %d mean %v", j, m)
+		}
+	}
+}
+
+func TestPCARandomizedPathMatchesExact(t *testing.T) {
+	// Above exactThreshold the randomized solver runs; its explained
+	// variances must match the exact solver computed on the same data.
+	rng := rand.New(rand.NewSource(5))
+	n, d := 120, exactThreshold+10
+	x := mat.New(n, d)
+	for i := 0; i < n; i++ {
+		base := rng.NormFloat64() * 4
+		for j := 0; j < d; j++ {
+			x.Set(i, j, base*math.Sin(float64(j)/7)+rng.NormFloat64()*0.3)
+		}
+	}
+	k := 5
+	p, err := FitPCA(x, k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact reference on centred data.
+	centered := x.Clone()
+	means := mat.ColumnMeans(x)
+	for i := 0; i < n; i++ {
+		row := centered.Row(i)
+		for j := range row {
+			row[j] -= means[j]
+		}
+	}
+	cov, _ := mat.Covariance(centered, false)
+	exactVals, _, err := mat.EigSym(cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		rel := math.Abs(p.ExplainedVar[i]-exactVals[i]) / (exactVals[i] + 1e-12)
+		// Leading (signal) components must be tight; trailing components sit
+		// in a near-flat noise spectrum where subspace iteration is looser.
+		tol := 0.05
+		if i >= 2 {
+			tol = 0.15
+		}
+		if rel > tol {
+			t.Errorf("component %d: randomized %v vs exact %v", i, p.ExplainedVar[i], exactVals[i])
+		}
+	}
+}
+
+func TestPCAErrors(t *testing.T) {
+	x := mat.New(10, 4)
+	if _, err := FitPCA(x, 0, 1); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := FitPCA(x, 5, 1); err == nil {
+		t.Error("k>d should fail")
+	}
+	if _, err := FitPCA(mat.New(1, 4), 2, 1); err == nil {
+		t.Error("single observation should fail")
+	}
+	var p PCA
+	if _, err := p.Transform(x); err == nil {
+		t.Error("transform before fit should fail")
+	}
+}
+
+func TestCovarianceDim(t *testing.T) {
+	if CovarianceDim(7) != 28 {
+		t.Errorf("CovarianceDim(7) = %d, want 28 (the paper's R^28)", CovarianceDim(7))
+	}
+	if CovarianceDim(1) != 1 || CovarianceDim(2) != 3 {
+		t.Error("CovarianceDim wrong for small c")
+	}
+}
+
+func TestCovarianceEmbedKnown(t *testing.T) {
+	// One trial, T=3, C=2: M = [[1,0],[0,1],[1,1]], MᵀM = [[2,1],[1,2]],
+	// /(T-1)=2 → upper triangle [1, 0.5, 1].
+	z, _ := mat.FromRows([][]float64{{1, 0, 0, 1, 1, 1}})
+	out, err := CovarianceEmbed(z, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 0.5, 1}
+	for i, w := range want {
+		if math.Abs(out.At(0, i)-w) > 1e-12 {
+			t.Errorf("embed[%d] = %v, want %v", i, out.At(0, i), w)
+		}
+	}
+}
+
+func TestCovarianceEmbedShape(t *testing.T) {
+	z := mat.New(5, 540*7)
+	out, err := CovarianceEmbed(z, 540, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows != 5 || out.Cols != 28 {
+		t.Errorf("shape %dx%d, want 5x28", out.Rows, out.Cols)
+	}
+}
+
+func TestCovarianceEmbedErrors(t *testing.T) {
+	if _, err := CovarianceEmbed(mat.New(1, 10), 3, 2); err == nil {
+		t.Error("shape mismatch should fail")
+	}
+	if _, err := CovarianceEmbed(mat.New(1, 2), 1, 2); err == nil {
+		t.Error("T<2 should fail")
+	}
+}
+
+// TestCovarianceEmbedMatchesMatCovariance cross-checks against
+// mat.Covariance on uncentered data.
+func TestCovarianceEmbedMatchesMatCovariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tSteps, c := 8, 3
+		trial := mat.New(tSteps, c)
+		for i := range trial.Data {
+			trial.Data[i] = rng.NormFloat64()
+		}
+		flat := mat.New(1, tSteps*c)
+		copy(flat.Data, trial.Data)
+		emb, err := CovarianceEmbed(flat, tSteps, c)
+		if err != nil {
+			return false
+		}
+		cov, err := mat.Covariance(trial, false)
+		if err != nil {
+			return false
+		}
+		k := 0
+		for a := 0; a < c; a++ {
+			for b := a; b < c; b++ {
+				if math.Abs(emb.At(0, k)-cov.At(a, b)) > 1e-10 {
+					return false
+				}
+				k++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCovariancePairNames(t *testing.T) {
+	names := CovariancePairNames([]string{"a", "b", "c"})
+	want := []string{"var(a)", "cov(a,b)", "cov(a,c)", "var(b)", "cov(b,c)", "var(c)"}
+	if len(names) != len(want) {
+		t.Fatalf("got %d names", len(names))
+	}
+	for i, w := range want {
+		if names[i] != w {
+			t.Errorf("names[%d] = %q, want %q", i, names[i], w)
+		}
+	}
+}

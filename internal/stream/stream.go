@@ -1,0 +1,142 @@
+// Package stream implements online workload classification — the paper's
+// future-work deployment scenario: classify snapshots of live workloads
+// from a sliding window of telemetry.
+//
+// A WindowedEmbedder maintains a ring buffer of the most recent W samples
+// and incrementally updates the second-moment sums the covariance embedding
+// needs, so each new sample costs O(C²) instead of recomputing the O(W·C²)
+// embedding, and a prediction can be requested at any time.
+package stream
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mat"
+	"repro/internal/preprocess"
+)
+
+// Classifier is any model consuming one embedded feature row.
+type Classifier interface {
+	PredictProba(x *mat.Matrix) (*mat.Matrix, error)
+}
+
+// WindowedEmbedder turns a live sample stream into covariance features over
+// a sliding window, standardised with offline (training-time) statistics.
+type WindowedEmbedder struct {
+	window  int
+	sensors int
+	scaler  *preprocess.StandardScaler
+
+	ring  []float64 // window×sensors ring buffer of standardised samples
+	head  int       // next write position (in samples)
+	count int       // samples seen (saturates at window)
+
+	// sums[a][b] accumulates Σ zₐ·z_b over the current window (upper
+	// triangle only).
+	sums []float64
+}
+
+// NewWindowedEmbedder builds an embedder for the given window length and
+// sensor count. The scaler must have been fitted on flattened training
+// windows of the same shape (window·sensors columns).
+func NewWindowedEmbedder(window, sensors int, scaler *preprocess.StandardScaler) (*WindowedEmbedder, error) {
+	if window < 2 || sensors < 1 {
+		return nil, fmt.Errorf("stream: invalid window shape %dx%d", window, sensors)
+	}
+	if scaler == nil || len(scaler.Means) != window*sensors {
+		return nil, errors.New("stream: scaler not fitted for this window shape")
+	}
+	return &WindowedEmbedder{
+		window:  window,
+		sensors: sensors,
+		scaler:  scaler,
+		ring:    make([]float64, window*sensors),
+		sums:    make([]float64, preprocess.CovarianceDim(sensors)),
+	}, nil
+}
+
+// Push adds one telemetry sample (one value per sensor). The sample is
+// standardised with the column statistics of the ring position it lands in,
+// matching how offline training standardised flattened windows.
+func (w *WindowedEmbedder) Push(sample []float64) error {
+	if len(sample) != w.sensors {
+		return fmt.Errorf("stream: sample has %d sensors, want %d", len(sample), w.sensors)
+	}
+	base := w.head * w.sensors
+	// Evict the old sample's contribution once the ring is full.
+	if w.count >= w.window {
+		old := w.ring[base : base+w.sensors]
+		k := 0
+		for a := 0; a < w.sensors; a++ {
+			for b := a; b < w.sensors; b++ {
+				w.sums[k] -= old[a] * old[b]
+				k++
+			}
+		}
+	}
+	// Standardise into the ring and add the new contribution.
+	for c, v := range sample {
+		col := base + c
+		w.ring[col] = (v - w.scaler.Means[col]) / w.scaler.Stds[col]
+	}
+	cur := w.ring[base : base+w.sensors]
+	k := 0
+	for a := 0; a < w.sensors; a++ {
+		for b := a; b < w.sensors; b++ {
+			w.sums[k] += cur[a] * cur[b]
+			k++
+		}
+	}
+	w.head = (w.head + 1) % w.window
+	if w.count < w.window {
+		w.count++
+	}
+	return nil
+}
+
+// Ready reports whether a full window has been observed.
+func (w *WindowedEmbedder) Ready() bool { return w.count >= w.window }
+
+// Features returns the current covariance embedding (1×C(C+1)/2 matrix),
+// or an error before the first full window.
+func (w *WindowedEmbedder) Features() (*mat.Matrix, error) {
+	if !w.Ready() {
+		return nil, fmt.Errorf("stream: only %d of %d samples seen", w.count, w.window)
+	}
+	out := mat.New(1, len(w.sums))
+	inv := 1.0 / float64(w.window-1)
+	for i, s := range w.sums {
+		out.Data[i] = s * inv
+	}
+	return out, nil
+}
+
+// Monitor couples an embedder with a trained classifier.
+type Monitor struct {
+	Embedder *WindowedEmbedder
+	Model    Classifier
+}
+
+// Prediction is one live classification snapshot.
+type Prediction struct {
+	Class       int
+	Probability float64
+	Probs       []float64
+}
+
+// Classify returns the model's current belief, or an error before the
+// window has filled.
+func (m *Monitor) Classify() (*Prediction, error) {
+	feats, err := m.Embedder.Features()
+	if err != nil {
+		return nil, err
+	}
+	probs, err := m.Model.PredictProba(feats)
+	if err != nil {
+		return nil, err
+	}
+	row := probs.Row(0)
+	best := mat.ArgMax(row)
+	return &Prediction{Class: best, Probability: row[best], Probs: row}, nil
+}

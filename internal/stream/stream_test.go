@@ -1,0 +1,150 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/preprocess"
+)
+
+// fitScaler builds a scaler over random flattened windows of the given
+// shape so tests exercise realistic (non-unit) statistics.
+func fitScaler(t *testing.T, window, sensors int, seed int64) *preprocess.StandardScaler {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	train := mat.New(30, window*sensors)
+	for i := range train.Data {
+		train.Data[i] = rng.NormFloat64()*3 + 5
+	}
+	var s preprocess.StandardScaler
+	if _, err := s.FitTransform(train); err != nil {
+		t.Fatal(err)
+	}
+	return &s
+}
+
+func TestNewWindowedEmbedderErrors(t *testing.T) {
+	scaler := fitScaler(t, 4, 2, 1)
+	if _, err := NewWindowedEmbedder(1, 2, scaler); err == nil {
+		t.Error("window < 2 should fail")
+	}
+	if _, err := NewWindowedEmbedder(4, 2, nil); err == nil {
+		t.Error("nil scaler should fail")
+	}
+	if _, err := NewWindowedEmbedder(8, 2, scaler); err == nil {
+		t.Error("mismatched scaler should fail")
+	}
+}
+
+func TestPushValidation(t *testing.T) {
+	scaler := fitScaler(t, 4, 2, 2)
+	w, err := NewWindowedEmbedder(4, 2, scaler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Push([]float64{1}); err == nil {
+		t.Error("wrong sensor count should fail")
+	}
+	if _, err := w.Features(); err == nil {
+		t.Error("features before full window should fail")
+	}
+	if w.Ready() {
+		t.Error("not ready before full window")
+	}
+}
+
+// TestIncrementalMatchesBatch is the core invariant: after any stream of
+// pushes, the incremental embedding must equal the batch CovarianceEmbed of
+// the same window.
+func TestIncrementalMatchesBatch(t *testing.T) {
+	const window, sensors = 6, 3
+	scaler := fitScaler(t, window, sensors, 3)
+	w, err := NewWindowedEmbedder(window, sensors, scaler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+
+	var history [][]float64
+	for step := 0; step < 40; step++ {
+		sample := make([]float64, sensors)
+		for c := range sample {
+			sample[c] = rng.NormFloat64()*2 + 4
+		}
+		history = append(history, sample)
+		if err := w.Push(sample); err != nil {
+			t.Fatal(err)
+		}
+		if len(history) < window {
+			continue
+		}
+
+		got, err := w.Features()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Batch reference: the last `window` samples, laid out at the ring
+		// positions the embedder used, standardised and embedded.
+		flat := mat.New(1, window*sensors)
+		for k := 0; k < window; k++ {
+			idx := len(history) - window + k
+			pos := idx % window // ring position this sample landed in
+			for c := 0; c < sensors; c++ {
+				flat.Data[pos*sensors+c] = history[idx][c]
+			}
+		}
+		z, err := scaler.Transform(flat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := preprocess.CovarianceEmbed(z, window, sensors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Data {
+			if math.Abs(got.Data[i]-want.Data[i]) > 1e-9 {
+				t.Fatalf("step %d feature %d: incremental %v vs batch %v",
+					step, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// constModel predicts a fixed distribution, for Monitor plumbing tests.
+type constModel struct{ probs []float64 }
+
+func (m constModel) PredictProba(x *mat.Matrix) (*mat.Matrix, error) {
+	out := mat.New(x.Rows, len(m.probs))
+	for i := 0; i < x.Rows; i++ {
+		copy(out.Row(i), m.probs)
+	}
+	return out, nil
+}
+
+func TestMonitorClassify(t *testing.T) {
+	const window, sensors = 4, 2
+	scaler := fitScaler(t, window, sensors, 5)
+	w, err := NewWindowedEmbedder(window, sensors, scaler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Monitor{Embedder: w, Model: constModel{probs: []float64{0.2, 0.7, 0.1}}}
+	if _, err := m.Classify(); err == nil {
+		t.Error("classify before full window should fail")
+	}
+	for i := 0; i < window; i++ {
+		if err := w.Push([]float64{1, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pred, err := m.Classify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Class != 1 || pred.Probability != 0.7 || len(pred.Probs) != 3 {
+		t.Errorf("prediction = %+v", pred)
+	}
+}

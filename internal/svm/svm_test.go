@@ -1,0 +1,254 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func blobs(n, k int, spread float64, seed int64) (*mat.Matrix, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	x := mat.New(n, 2)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % k
+		angle := 2 * math.Pi * float64(c) / float64(k)
+		x.Set(i, 0, 4*math.Cos(angle)+rng.NormFloat64()*spread)
+		x.Set(i, 1, 4*math.Sin(angle)+rng.NormFloat64()*spread)
+		y[i] = c
+	}
+	return x, y
+}
+
+// ringData builds a radially-separable two-class problem a linear machine
+// cannot solve but RBF can.
+func ringData(n int, seed int64) (*mat.Matrix, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	x := mat.New(n, 2)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		var r float64
+		if i%2 == 0 {
+			r = 1 + rng.NormFloat64()*0.1
+		} else {
+			r = 3 + rng.NormFloat64()*0.1
+			y[i] = 1
+		}
+		a := rng.Float64() * 2 * math.Pi
+		x.Set(i, 0, r*math.Cos(a))
+		x.Set(i, 1, r*math.Sin(a))
+	}
+	return x, y
+}
+
+func accuracy(t *testing.T, pred, y []int) float64 {
+	t.Helper()
+	c := 0
+	for i, p := range pred {
+		if p == y[i] {
+			c++
+		}
+	}
+	return float64(c) / float64(len(y))
+}
+
+func TestSVCBinaryLinearSeparable(t *testing.T) {
+	x, _ := mat.FromRows([][]float64{{-2, 0}, {-3, 1}, {-2.5, -1}, {2, 0}, {3, 1}, {2.5, -1}})
+	y := []int{0, 0, 0, 1, 1, 1}
+	c := New(Config{C: 1, Kernel: LinearKernel{}, Seed: 1})
+	if err := c.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := c.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(t, pred, y); acc != 1 {
+		t.Errorf("separable accuracy %v", acc)
+	}
+}
+
+func TestSVCRBFSolvesRings(t *testing.T) {
+	x, y := ringData(200, 2)
+	c := New(Config{C: 10, Seed: 1})
+	if err := c.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	xt, yt := ringData(100, 3)
+	pred, err := c.Predict(xt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(t, pred, yt); acc < 0.95 {
+		t.Errorf("RBF ring accuracy %v", acc)
+	}
+	if c.Gamma() <= 0 {
+		t.Error("scale gamma not resolved")
+	}
+}
+
+func TestLinearCannotSolveRings(t *testing.T) {
+	// Sanity for the RBF test: the same data defeats a linear machine.
+	x, y := ringData(200, 2)
+	c := NewLinear(DefaultLinearConfig())
+	if err := c.Fit(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	pred, _ := c.Predict(x)
+	if acc := accuracy(t, pred, y); acc > 0.8 {
+		t.Errorf("linear machine should fail on rings, got %v", acc)
+	}
+}
+
+func TestSVCMulticlassOvO(t *testing.T) {
+	x, y := blobs(240, 4, 0.6, 5)
+	c := New(Config{C: 1, Seed: 2})
+	if err := c.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.machines); got != 6 {
+		t.Errorf("4 classes need 6 OvO machines, got %d", got)
+	}
+	xt, yt := blobs(120, 4, 0.6, 6)
+	pred, err := c.Predict(xt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(t, pred, yt); acc < 0.95 {
+		t.Errorf("multiclass accuracy %v", acc)
+	}
+}
+
+func TestSVCSupportVectorsSubset(t *testing.T) {
+	x, y := blobs(200, 2, 0.5, 7)
+	c := New(Config{C: 1, Seed: 3})
+	if err := c.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumSupportVectors() == 0 {
+		t.Fatal("no support vectors kept")
+	}
+	if c.NumSupportVectors() >= 200 {
+		t.Errorf("all %d points became support vectors on well-separated data", c.NumSupportVectors())
+	}
+}
+
+func TestSVCErrors(t *testing.T) {
+	c := New(DefaultConfig())
+	if err := c.Fit(mat.New(2, 2), []int{0}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if err := c.Fit(mat.New(0, 2), nil); err == nil {
+		t.Error("empty training set should fail")
+	}
+	if err := c.Fit(mat.New(3, 2), []int{1, 1, 1}); err == nil {
+		t.Error("single class should fail")
+	}
+	if _, err := c.Predict(mat.New(1, 2)); err == nil {
+		t.Error("predict before fit should fail")
+	}
+	x, y := blobs(40, 2, 0.5, 8)
+	if err := c.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Predict(mat.New(1, 5)); err == nil {
+		t.Error("feature mismatch should fail")
+	}
+}
+
+func TestGammaScale(t *testing.T) {
+	x, _ := mat.FromRows([][]float64{{0, 0}, {2, 2}})
+	// All entries: 0,0,2,2 → var = 1, d=2 → gamma = 0.5.
+	if g := GammaScale(x); math.Abs(g-0.5) > 1e-12 {
+		t.Errorf("GammaScale = %v, want 0.5", g)
+	}
+	if g := GammaScale(mat.New(2, 3)); g != 1.0/3 {
+		t.Errorf("GammaScale on constant data = %v, want 1/3", g)
+	}
+}
+
+func TestSVCRegularizationEffect(t *testing.T) {
+	// Small C must keep more (bounded) support vectors than large C on
+	// overlapping data.
+	x, y := blobs(160, 2, 2.0, 9)
+	weak := New(Config{C: 0.01, Seed: 4})
+	if err := weak.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	strong := New(Config{C: 100, Seed: 4})
+	if err := strong.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if weak.NumSupportVectors() <= strong.NumSupportVectors() {
+		t.Errorf("C=0.01 kept %d SVs, C=100 kept %d; expected more for small C",
+			weak.NumSupportVectors(), strong.NumSupportVectors())
+	}
+}
+
+func TestLinearClassifierBlobs(t *testing.T) {
+	x, y := blobs(300, 3, 0.7, 11)
+	c := NewLinear(LinearConfig{C: 1, Epochs: 200, Tol: 1e-4, Seed: 5})
+	if err := c.Fit(x, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	xt, yt := blobs(150, 3, 0.7, 12)
+	pred, err := c.Predict(xt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(t, pred, yt); acc < 0.93 {
+		t.Errorf("linear OvR accuracy %v", acc)
+	}
+}
+
+func TestLinearDecisionFunctionShape(t *testing.T) {
+	x, y := blobs(60, 3, 0.5, 13)
+	c := NewLinear(DefaultLinearConfig())
+	if err := c.Fit(x, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	df, err := c.DecisionFunction(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df.Rows != 60 || df.Cols != 3 {
+		t.Errorf("decision shape %dx%d", df.Rows, df.Cols)
+	}
+}
+
+func TestLinearErrors(t *testing.T) {
+	c := NewLinear(DefaultLinearConfig())
+	if err := c.Fit(mat.New(2, 2), []int{0}, 2); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if err := c.Fit(mat.New(0, 2), nil, 2); err == nil {
+		t.Error("empty set should fail")
+	}
+	if err := c.Fit(mat.New(2, 2), []int{0, 0}, 1); err == nil {
+		t.Error("single class should fail")
+	}
+	if _, err := c.Predict(mat.New(1, 2)); err == nil {
+		t.Error("predict before fit should fail")
+	}
+}
+
+func TestSVCDeterminism(t *testing.T) {
+	x, y := blobs(100, 3, 1.0, 15)
+	c1 := New(Config{C: 1, Seed: 9})
+	c2 := New(Config{C: 1, Seed: 9})
+	if err := c1.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := c1.Predict(x)
+	p2, _ := c2.Predict(x)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("same seed produced different SVMs")
+		}
+	}
+}

@@ -1,0 +1,392 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Job is one labelled training job: a model class realised with
+// job-specific hyper-parameters, running for Duration seconds on NumGPUs
+// V100s spread across NumNodes nodes. All telemetry for the job derives
+// deterministically from Seed.
+type Job struct {
+	ID       int
+	Class    Class
+	Seed     int64
+	NumGPUs  int
+	NumNodes int
+	Duration float64 // seconds
+	Startup  float64 // seconds of class-agnostic startup before training
+
+	prof Profile // per-job jittered realisation of the class profile
+
+	// Per-GPU hardware variation.
+	utilOffset []float64
+	tempOffset []float64
+	powOffset  []float64
+}
+
+// phase identifies where in the training lifecycle a timestamp falls.
+type phase int
+
+const (
+	phaseStartup phase = iota
+	phaseTrain
+	phaseValidation
+	phaseCheckpoint
+)
+
+// noise stream channels (third argument to streamSeed).
+const (
+	chUtil = iota
+	chMem
+	chPower
+	chTempGPU
+	chTempMem
+	chSpike
+	chMemUtil
+	chGap
+	chSlowPhase
+	chStall
+)
+
+// phaseAt returns the lifecycle phase at absolute job time t and the time
+// elapsed since training started (0 during startup).
+func (j *Job) phaseAt(t float64) (phase, float64) {
+	if t < j.Startup {
+		return phaseStartup, 0
+	}
+	tt := t - j.Startup
+	p := j.prof
+	pos := math.Mod(tt, p.EpochTime)
+	valDur := p.EpochTime * p.ValFrac
+	ckpt := math.Min(p.CkptTime, p.EpochTime*0.1)
+	trainDur := p.EpochTime - valDur - ckpt
+	switch {
+	case pos < trainDur:
+		return phaseTrain, tt
+	case pos < trainDur+valDur:
+		return phaseValidation, tt
+	default:
+		return phaseCheckpoint, tt
+	}
+}
+
+// stepState returns the within-step phase in [0,1) and the effective duty
+// cycle at training time tt, accounting for the slow warmup of the first
+// few steps (framework autotuning).
+func (j *Job) stepState(tt float64) (stepPhase, duty, utilScale float64) {
+	p := j.prof
+	step := p.StepTime
+	utilScale = 1.0
+	warmup := 8 * p.StepTime
+	if tt < warmup*2 {
+		step = p.StepTime * 2
+		utilScale = 0.75
+	}
+	stepPhase = math.Mod(tt, step) / step
+	duty = p.Duty
+	if j.NumNodes > 1 {
+		duty = clamp(duty-0.04, 0.2, 0.97) // inter-node gradient sync gap
+	}
+	return stepPhase, duty, utilScale
+}
+
+// busyFraction returns the fraction of [t0, t0+dt) covered by the busy part
+// of a square wave with the given period and duty cycle (busy first, idle
+// after). It is the exact integral, so overlapping windows remain
+// consistent.
+func busyFraction(t0, dt, period, duty float64) float64 {
+	if period <= 0 {
+		return duty
+	}
+	busyLen := duty * period
+	cum := func(x float64) float64 {
+		n := math.Floor(x / period)
+		r := x - n*period
+		return n*busyLen + math.Min(r, busyLen)
+	}
+	return (cum(t0+dt) - cum(t0)) / dt
+}
+
+// inStall reports whether an input-pipeline stall is active at absolute
+// time t. Stalls are scheduled deterministically per (job, gpu) in 10-second
+// blocks: a block contains a stall with probability rate·10/60, at a hashed
+// offset, lasting 0.5-3 s.
+func (j *Job) inStall(gpu int, t float64) bool {
+	const blockLen = 10.0
+	rate := j.prof.StallRate
+	if rate <= 0 {
+		return false
+	}
+	prob := rate * blockLen / 60
+	if prob > 0.95 {
+		prob = 0.95
+	}
+	stream := streamSeed(j.Seed, gpu, chStall)
+	// A stall may spill across one block boundary; check two blocks.
+	for _, b := range []int64{int64(t / blockLen), int64(t/blockLen) - 1} {
+		if b < 0 {
+			continue
+		}
+		if hashUniform(stream, 3*b) >= prob {
+			continue
+		}
+		start := float64(b)*blockLen + hashUniform(stream, 3*b+1)*blockLen
+		dur := 0.3 + 1.2*hashUniform(stream, 3*b+2)
+		if t >= start && t < start+dur {
+			return true
+		}
+	}
+	return false
+}
+
+// stallFraction estimates the fraction of [t, t+dt) spent stalled on the
+// given GPU's input pipeline by probing inStall at sub-interval resolution.
+// Used to couple host CPU telemetry to GPU starvation.
+func (j *Job) stallFraction(gpu int, t, dt float64) float64 {
+	if gpu >= j.NumGPUs {
+		gpu = 0
+	}
+	const probes = 20
+	hit := 0
+	for k := 0; k < probes; k++ {
+		if j.inStall(gpu, t+dt*(float64(k)+0.5)/probes) {
+			hit++
+		}
+	}
+	return float64(hit) / probes
+}
+
+// gpuSample computes the seven DCGM sensor values for one GPU at sample
+// index idx (absolute time idx*GPUSampleDT), given the thermal state carried
+// by the caller. It returns the raw (unquantised) values; temperature state
+// is advanced in place.
+func (j *Job) gpuSample(gpu int, idx int64, tGPU, tMem *float64) [NumGPUSensors]float64 {
+	t := float64(idx) * GPUSampleDT
+	p := j.prof
+	ph, tt := j.phaseAt(t)
+
+	var util, memUsed, powerEff float64
+	switch ph {
+	case phaseStartup:
+		util = j.startupUtil(gpu, idx, t)
+		memUsed = j.startupMem(t)
+		powerEff = 0.5
+	case phaseTrain:
+		sp, duty, scale := j.stepState(tt)
+		slow := p.SlowModAmp * math.Sin(2*math.Pi*tt/p.SlowModPeriod+
+			hashUniform(streamSeed(j.Seed, gpu, chSlowPhase), 0)*2*math.Pi)
+		// DCGM utilization is a counter-derived average over the sampling
+		// period, not an instantaneous reading: each sample reports the
+		// fraction of the interval the kernel queue was busy. This makes
+		// the per-sample distribution (and hence the window variance the
+		// covariance embedding sees) a function of the step period relative
+		// to the 9 Hz sampling — the cue that separates sub-architectures
+		// whose only difference is per-step compute time.
+		step := p.StepTime
+		if tt < 16*p.StepTime {
+			step = p.StepTime * 2
+		}
+		frac := busyFraction(tt, GPUSampleDT, step, duty)
+		high := (p.UtilHigh+j.utilOffset[gpu])*scale + slow
+		util = p.UtilLow + (high-p.UtilLow)*frac +
+			(p.UtilJitter*frac+1.0)*hashNormal(streamSeed(j.Seed, gpu, chUtil), idx)
+		memUsed = j.trainMem(gpu, tt, sp, duty, idx, 1.0)
+		powerEff = p.PowerEff
+		if j.inStall(gpu, t) {
+			// Input-pipeline stall: the GPU starves while memory stays
+			// allocated. Stall *rate* is a class cue; the stalls themselves
+			// randomise window means.
+			util = 1 + 2*math.Abs(hashNormal(streamSeed(j.Seed, gpu, chUtil), idx))
+			powerEff = 0.45
+		}
+	case phaseValidation:
+		// Forward-only: shorter steps, higher duty, lower power per util.
+		valStep := math.Max(p.StepTime*0.4, GPUSampleDT)
+		sp := math.Mod(tt, valStep) / valStep
+		if sp < 0.96 {
+			util = math.Min(p.UtilHigh*1.05, 100) +
+				p.UtilJitter*0.7*hashNormal(streamSeed(j.Seed, gpu, chUtil), idx)
+		} else {
+			util = p.UtilLow
+		}
+		memUsed = j.trainMem(gpu, tt, sp, 0.96, idx, 0.8)
+		powerEff = p.PowerEff * 0.8
+	case phaseCheckpoint:
+		util = 2 + math.Abs(hashNormal(streamSeed(j.Seed, gpu, chUtil), idx))
+		memUsed = p.MemBaseMiB + p.MemActMiB*0.8
+		powerEff = 0.45
+	}
+	util = clamp(util, 0, 100)
+
+	memUtil := clamp(util*p.MemUtilRatio*
+		(1+0.05*hashNormal(streamSeed(j.Seed, gpu, chMemUtil), idx)), 0, 100)
+
+	power := GPUPowerIdleW + (GPUPowerMaxW-GPUPowerIdleW)*powerEff*
+		(0.72*util+0.28*memUtil)/100 +
+		j.powOffset[gpu] + 1.5*hashNormal(streamSeed(j.Seed, gpu, chPower), idx)
+	power = clamp(power, GPUPowerIdleW*0.85, 310)
+
+	// First-order thermal models: GPU die (fast) and HBM stacks (slow).
+	const (
+		tauGPU, rGPU = 40.0, 0.16
+		tauMem, rMem = 60.0, 0.115
+	)
+	amb := AmbientTempC + j.tempOffset[gpu]
+	*tGPU += GPUSampleDT/tauGPU*(amb+rGPU*power-*tGPU) +
+		0.08*hashNormal(streamSeed(j.Seed, gpu, chTempGPU), idx)
+	*tMem += GPUSampleDT/tauMem*(amb+rMem*power-*tMem) +
+		0.06*hashNormal(streamSeed(j.Seed, gpu, chTempMem), idx)
+
+	memUsed = clamp(memUsed, 0, GPUMemoryTotalMiB)
+	return [NumGPUSensors]float64{
+		util,
+		memUtil,
+		GPUMemoryTotalMiB - memUsed,
+		memUsed,
+		*tGPU,
+		*tMem,
+		power,
+	}
+}
+
+// startupUtil models the class-agnostic startup: an idle GPU with sparse
+// initialisation spikes while the host loads data and builds the model.
+func (j *Job) startupUtil(gpu int, idx int64, t float64) float64 {
+	if t > j.Startup*0.85 {
+		// Model materialisation: first kernels warm the GPU.
+		return 8 + 10*hashUniform(streamSeed(j.Seed, gpu, chSpike), idx)
+	}
+	if hashUniform(streamSeed(j.Seed, gpu, chSpike), idx) < 0.03 {
+		return 10 + 35*hashUniform(streamSeed(j.Seed, gpu, chSpike), idx+1<<40)
+	}
+	return math.Abs(hashNormal(streamSeed(j.Seed, gpu, chUtil), idx)) * 0.8
+}
+
+// startupMem models memory during startup: nothing, then the CUDA context,
+// then the parameter/optimizer allocation ramp.
+func (j *Job) startupMem(t float64) float64 {
+	su := j.Startup
+	const ctxMiB = 450.0
+	switch {
+	case t < 0.25*su:
+		return 0
+	case t < 0.40*su:
+		return ctxMiB * (t - 0.25*su) / (0.15 * su)
+	case t < 0.85*su:
+		return ctxMiB
+	default:
+		frac := (t - 0.85*su) / (0.15 * su)
+		return ctxMiB + (j.prof.MemBaseMiB-ctxMiB)*clamp(frac, 0, 1)
+	}
+}
+
+// trainMem models steady-state memory: base + activation plateau (growing
+// over the first ~90 s of training as caching allocators settle) + the
+// per-step activation sawtooth.
+func (j *Job) trainMem(gpu int, tt, stepPhase, duty float64, idx int64, actScale float64) float64 {
+	p := j.prof
+	plateau := p.MemActMiB * actScale * (1 - 0.30*math.Exp(-tt/90))
+	var saw float64
+	if stepPhase < duty {
+		saw = stepPhase / duty // forward: activations accumulate
+	} else {
+		saw = 1 - (stepPhase-duty)/(1-duty) // backward: freed
+	}
+	return p.MemBaseMiB + plateau + p.MemSawMiB*saw +
+		8*hashNormal(streamSeed(j.Seed, gpu, chMem), idx)
+}
+
+// steadyTemps estimates the thermal state at absolute time t0 so windows can
+// start mid-job without integrating from t=0: the steady-state temperature
+// for the current phase's mean power, relaxed toward ambient when the job is
+// younger than the thermal time constant.
+func (j *Job) steadyTemps(gpu int, t0 float64) (tGPU, tMem float64) {
+	ph, _ := j.phaseAt(t0)
+	p := j.prof
+	var meanUtil, eff float64
+	switch ph {
+	case phaseStartup:
+		meanUtil, eff = 3, 0.5
+	case phaseTrain:
+		_, duty, _ := j.stepState(math.Max(t0-j.Startup, 0))
+		meanUtil = p.UtilHigh*duty + p.UtilLow*(1-duty)
+		eff = p.PowerEff
+	case phaseValidation:
+		meanUtil, eff = math.Min(p.UtilHigh*1.05, 100)*0.96, p.PowerEff*0.8
+	case phaseCheckpoint:
+		meanUtil, eff = 3, 0.45
+	}
+	meanPower := GPUPowerIdleW + (GPUPowerMaxW-GPUPowerIdleW)*eff*
+		(0.72+0.28*p.MemUtilRatio)*meanUtil/100
+	amb := AmbientTempC + j.tempOffset[gpu]
+	warm := 1 - math.Exp(-t0/40)
+	tGPU = amb + (0.16*meanPower)*warm
+	warmMem := 1 - math.Exp(-t0/60)
+	tMem = amb + (0.115*meanPower)*warmMem
+	return tGPU, tMem
+}
+
+// GPUWindow materialises n consecutive DCGM samples for one GPU starting at
+// absolute job time t0. The result is an n×7 matrix whose columns follow the
+// Table III sensor order. Values are quantised the way DCGM reports them
+// (integer percentages, MiB and °C; power to 0.01 W).
+//
+// The window must lie inside the job: t0 ≥ 0 and t0 + n·dt ≤ Duration.
+func (j *Job) GPUWindow(gpu int, t0 float64, n int) (*mat.Matrix, error) {
+	if gpu < 0 || gpu >= j.NumGPUs {
+		return nil, fmt.Errorf("telemetry: job %d has %d GPUs, requested %d", j.ID, j.NumGPUs, gpu)
+	}
+	if t0 < 0 || t0+float64(n)*GPUSampleDT > j.Duration+1e-9 {
+		return nil, fmt.Errorf("telemetry: window [%.1f, %.1f) outside job duration %.1f",
+			t0, t0+float64(n)*GPUSampleDT, j.Duration)
+	}
+	out := mat.New(n, int(NumGPUSensors))
+	tGPU, tMem := j.steadyTemps(gpu, t0)
+	startIdx := int64(math.Round(t0 / GPUSampleDT))
+	for i := 0; i < n; i++ {
+		s := j.gpuSample(gpu, startIdx+int64(i), &tGPU, &tMem)
+		row := out.Row(i)
+		row[UtilizationGPUPct] = math.Round(s[UtilizationGPUPct])
+		row[UtilizationMemoryPct] = math.Round(s[UtilizationMemoryPct])
+		row[MemoryFreeMiB] = math.Round(s[MemoryFreeMiB])
+		row[MemoryUsedMiB] = math.Round(s[MemoryUsedMiB])
+		row[TemperatureGPU] = math.Round(s[TemperatureGPU])
+		row[TemperatureMemory] = math.Round(s[TemperatureMemory])
+		row[PowerDrawW] = math.Round(s[PowerDrawW]*100) / 100
+	}
+	return out, nil
+}
+
+// HasGap reports whether the telemetry stream for the given GPU has a
+// collector outage overlapping [t0, t1). Real monitoring pipelines drop
+// samples when collectors restart; the challenge's random-window datasets
+// have slightly different trial counts because of such artefacts.
+func (j *Job) HasGap(gpu int, t0, t1 float64) bool {
+	const blockLen = 600.0
+	const gapProb = 0.012
+	stream := streamSeed(j.Seed, gpu, chGap)
+	first := int64(math.Floor(t0/blockLen)) - 1
+	last := int64(math.Floor(t1 / blockLen))
+	for b := first; b <= last; b++ {
+		if b < 0 {
+			continue
+		}
+		if hashUniform(stream, 3*b) >= gapProb {
+			continue
+		}
+		gapStart := float64(b)*blockLen + hashUniform(stream, 3*b+1)*blockLen
+		gapLen := 5 + 15*hashUniform(stream, 3*b+2)
+		if gapStart < t1 && gapStart+gapLen > t0 {
+			return true
+		}
+	}
+	return false
+}
+
+// NumGPUSeries returns the number of labelled GPU time series the job
+// contributes (one per GPU, all with the same class label).
+func (j *Job) NumGPUSeries() int { return j.NumGPUs }

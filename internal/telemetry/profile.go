@@ -1,0 +1,213 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Profile holds the telemetry-generation parameters of one model class: how
+// the class's training loop expresses itself through the seven DCGM sensors.
+// Values are calibrated to V100-class behaviour; what matters for the
+// challenge is that classes differ in the *joint* statistics of the sensors
+// while per-job jitter keeps neighbouring sub-architectures overlapping.
+type Profile struct {
+	StepTime   float64 // seconds per optimizer step
+	Duty       float64 // fraction of a step the GPU kernel queue is busy
+	UtilHigh   float64 // mean GPU utilization (%) during the busy part
+	UtilLow    float64 // utilization between bursts (dataloader / sync gap)
+	UtilJitter float64 // per-sample utilization noise during compute (abs %)
+
+	MemUtilRatio float64 // memory-controller utilization per unit GPU util
+
+	MemBaseMiB float64 // CUDA context + parameters + optimizer state
+	MemActMiB  float64 // activation plateau above the base
+	MemSawMiB  float64 // per-step activation sawtooth amplitude
+
+	PowerEff float64 // efficiency converting utilization into power draw
+
+	EpochTime float64 // seconds per epoch
+	ValFrac   float64 // fraction of an epoch spent in validation
+	CkptTime  float64 // seconds per end-of-epoch checkpoint stall
+
+	SlowModAmp    float64 // slow utilization drift amplitude (%)
+	SlowModPeriod float64 // drift period (s)
+
+	CPUUtilPct    float64 // host CPU utilization (% of allocated cores)
+	ReadMBPerStep float64 // input pipeline read volume per step
+	StartupBias   float64 // extra startup seconds (dataset preprocessing)
+
+	// StallRate is the expected number of input-pipeline stalls per minute
+	// (dataloader exhaustion, shared-filesystem hiccups). Stall rates are a
+	// stable property of the input pipeline — and therefore of the class —
+	// while the stalls themselves randomise window-mean utilization.
+	StallRate float64
+}
+
+// unetProfile derives a U-Net profile from depth d (3-5) and base filter
+// count f (32/64/128): memory footprint scales with filters, utilization and
+// step time with depth.
+func unetProfile(d, f int) Profile {
+	df := float64(d)
+	ff := float64(f)
+	return Profile{
+		StepTime:      0.20 + 0.06*df + ff/400,
+		Duty:          0.74 + 0.03*df,
+		UtilHigh:      math.Min(62+6*df+ff/8, 97),
+		UtilLow:       12,
+		UtilJitter:    3.5,
+		MemUtilRatio:  0.80,
+		MemBaseMiB:    1500 + 130*df,
+		MemActMiB:     ff * (40 + 25*df),
+		MemSawMiB:     ff * 25,
+		PowerEff:      0.90,
+		EpochTime:     180 + 42*df,
+		ValFrac:       0.10,
+		CkptTime:      4,
+		SlowModAmp:    2.5,
+		SlowModPeriod: 45,
+		CPUUtilPct:    65,
+		ReadMBPerStep: 90,
+		StallRate:     4.5,
+	}
+}
+
+var profiles = [NumClasses]Profile{
+	VGG11: {StepTime: 0.32, Duty: 0.88, UtilHigh: 96, UtilLow: 18, UtilJitter: 2.0,
+		MemUtilRatio: 0.62, MemBaseMiB: 3200, MemActMiB: 5200, MemSawMiB: 2100,
+		PowerEff: 0.96, EpochTime: 240, ValFrac: 0.08, CkptTime: 4,
+		SlowModAmp: 1.5, SlowModPeriod: 60, CPUUtilPct: 55, ReadMBPerStep: 180, StallRate: 2},
+	VGG16: {StepTime: 0.45, Duty: 0.89, UtilHigh: 97, UtilLow: 17, UtilJitter: 1.8,
+		MemUtilRatio: 0.64, MemBaseMiB: 3600, MemActMiB: 6200, MemSawMiB: 2460,
+		PowerEff: 0.97, EpochTime: 300, ValFrac: 0.08, CkptTime: 5,
+		SlowModAmp: 1.5, SlowModPeriod: 60, CPUUtilPct: 52, ReadMBPerStep: 180, StallRate: 2},
+	VGG19: {StepTime: 0.55, Duty: 0.90, UtilHigh: 97.5, UtilLow: 16, UtilJitter: 1.7,
+		MemUtilRatio: 0.65, MemBaseMiB: 3900, MemActMiB: 6800, MemSawMiB: 2700,
+		PowerEff: 0.98, EpochTime: 340, ValFrac: 0.08, CkptTime: 5,
+		SlowModAmp: 1.4, SlowModPeriod: 60, CPUUtilPct: 50, ReadMBPerStep: 180, StallRate: 2},
+	Inception3: {StepTime: 0.50, Duty: 0.80, UtilHigh: 86, UtilLow: 20, UtilJitter: 5.0,
+		MemUtilRatio: 0.58, MemBaseMiB: 2400, MemActMiB: 5000, MemSawMiB: 1950,
+		PowerEff: 0.88, EpochTime: 300, ValFrac: 0.09, CkptTime: 4,
+		SlowModAmp: 3.0, SlowModPeriod: 40, CPUUtilPct: 60, ReadMBPerStep: 170, StallRate: 3},
+	Inception4: {StepTime: 0.70, Duty: 0.81, UtilHigh: 88, UtilLow: 19, UtilJitter: 5.0,
+		MemUtilRatio: 0.60, MemBaseMiB: 2900, MemActMiB: 6400, MemSawMiB: 2280,
+		PowerEff: 0.89, EpochTime: 380, ValFrac: 0.09, CkptTime: 5,
+		SlowModAmp: 3.0, SlowModPeriod: 40, CPUUtilPct: 58, ReadMBPerStep: 170, StallRate: 3},
+	ResNet50: {StepTime: 0.30, Duty: 0.85, UtilHigh: 91, UtilLow: 21, UtilJitter: 3.0,
+		MemUtilRatio: 0.66, MemBaseMiB: 2100, MemActMiB: 4600, MemSawMiB: 1680,
+		PowerEff: 0.92, EpochTime: 220, ValFrac: 0.09, CkptTime: 3,
+		SlowModAmp: 2.0, SlowModPeriod: 55, CPUUtilPct: 62, ReadMBPerStep: 175, StallRate: 2.5},
+	ResNet50V15: {StepTime: 0.33, Duty: 0.86, UtilHigh: 92.5, UtilLow: 21, UtilJitter: 2.9,
+		MemUtilRatio: 0.68, MemBaseMiB: 2250, MemActMiB: 5000, MemSawMiB: 1770,
+		PowerEff: 0.93, EpochTime: 230, ValFrac: 0.09, CkptTime: 3,
+		SlowModAmp: 2.0, SlowModPeriod: 55, CPUUtilPct: 62, ReadMBPerStep: 175, StallRate: 2.5},
+	ResNet101: {StepTime: 0.50, Duty: 0.87, UtilHigh: 92, UtilLow: 20, UtilJitter: 2.8,
+		MemUtilRatio: 0.67, MemBaseMiB: 2700, MemActMiB: 5800, MemSawMiB: 1920,
+		PowerEff: 0.93, EpochTime: 300, ValFrac: 0.09, CkptTime: 4,
+		SlowModAmp: 1.9, SlowModPeriod: 55, CPUUtilPct: 58, ReadMBPerStep: 170, StallRate: 2.4},
+	ResNet101V2: {StepTime: 0.53, Duty: 0.88, UtilHigh: 93, UtilLow: 20, UtilJitter: 2.7,
+		MemUtilRatio: 0.69, MemBaseMiB: 2760, MemActMiB: 6000, MemSawMiB: 1980,
+		PowerEff: 0.94, EpochTime: 310, ValFrac: 0.09, CkptTime: 4,
+		SlowModAmp: 1.9, SlowModPeriod: 55, CPUUtilPct: 58, ReadMBPerStep: 170, StallRate: 2.4},
+	ResNet152: {StepTime: 0.68, Duty: 0.88, UtilHigh: 93, UtilLow: 19, UtilJitter: 2.6,
+		MemUtilRatio: 0.68, MemBaseMiB: 3200, MemActMiB: 6600, MemSawMiB: 2100,
+		PowerEff: 0.94, EpochTime: 360, ValFrac: 0.09, CkptTime: 5,
+		SlowModAmp: 1.8, SlowModPeriod: 55, CPUUtilPct: 55, ReadMBPerStep: 165, StallRate: 2.2},
+	ResNet152V2: {StepTime: 0.71, Duty: 0.89, UtilHigh: 94, UtilLow: 19, UtilJitter: 2.5,
+		MemUtilRatio: 0.70, MemBaseMiB: 3260, MemActMiB: 6800, MemSawMiB: 2160,
+		PowerEff: 0.95, EpochTime: 370, ValFrac: 0.09, CkptTime: 5,
+		SlowModAmp: 1.8, SlowModPeriod: 55, CPUUtilPct: 55, ReadMBPerStep: 165, StallRate: 2.2},
+	Bert: {StepTime: 0.85, Duty: 0.93, UtilHigh: 95, UtilLow: 35, UtilJitter: 1.5,
+		MemUtilRatio: 0.88, MemBaseMiB: 4200, MemActMiB: 9000, MemSawMiB: 1260,
+		PowerEff: 1.00, EpochTime: 600, ValFrac: 0.06, CkptTime: 8,
+		SlowModAmp: 1.0, SlowModPeriod: 90, CPUUtilPct: 30, ReadMBPerStep: 40, StallRate: 0.6},
+	DistillBert: {StepTime: 0.50, Duty: 0.90, UtilHigh: 93, UtilLow: 33, UtilJitter: 1.8,
+		MemUtilRatio: 0.84, MemBaseMiB: 2600, MemActMiB: 5200, MemSawMiB: 990,
+		PowerEff: 0.98, EpochTime: 420, ValFrac: 0.06, CkptTime: 6,
+		SlowModAmp: 1.1, SlowModPeriod: 90, CPUUtilPct: 32, ReadMBPerStep: 40, StallRate: 0.8},
+	DimeNet: {StepTime: 0.60, Duty: 0.55, UtilHigh: 48, UtilLow: 6, UtilJitter: 9.0,
+		MemUtilRatio: 0.40, MemBaseMiB: 1300, MemActMiB: 2600, MemSawMiB: 1560,
+		PowerEff: 0.70, EpochTime: 150, ValFrac: 0.12, CkptTime: 2,
+		SlowModAmp: 6.0, SlowModPeriod: 25, CPUUtilPct: 85, ReadMBPerStep: 12, StartupBias: 12, StallRate: 7},
+	SchNet: {StepTime: 0.35, Duty: 0.60, UtilHigh: 41, UtilLow: 7, UtilJitter: 8.0,
+		MemUtilRatio: 0.38, MemBaseMiB: 1100, MemActMiB: 1900, MemSawMiB: 1260,
+		PowerEff: 0.68, EpochTime: 120, ValFrac: 0.12, CkptTime: 2,
+		SlowModAmp: 5.5, SlowModPeriod: 22, CPUUtilPct: 80, ReadMBPerStep: 10, StartupBias: 10, StallRate: 6},
+	PNA: {StepTime: 0.50, Duty: 0.50, UtilHigh: 56, UtilLow: 6, UtilJitter: 10.0,
+		MemUtilRatio: 0.44, MemBaseMiB: 1500, MemActMiB: 3100, MemSawMiB: 1680,
+		PowerEff: 0.72, EpochTime: 160, ValFrac: 0.12, CkptTime: 2,
+		SlowModAmp: 6.5, SlowModPeriod: 28, CPUUtilPct: 82, ReadMBPerStep: 14, StartupBias: 12, StallRate: 8},
+	NNConv: {StepTime: 0.40, Duty: 0.50, UtilHigh: 35, UtilLow: 5, UtilJitter: 7.0,
+		MemUtilRatio: 0.36, MemBaseMiB: 1000, MemActMiB: 1700, MemSawMiB: 1140,
+		PowerEff: 0.66, EpochTime: 130, ValFrac: 0.12, CkptTime: 2,
+		SlowModAmp: 5.0, SlowModPeriod: 24, CPUUtilPct: 78, ReadMBPerStep: 10, StartupBias: 10, StallRate: 6.5},
+}
+
+func init() {
+	profiles[U3x32] = unetProfile(3, 32)
+	profiles[U3x64] = unetProfile(3, 64)
+	profiles[U3x128] = unetProfile(3, 128)
+	profiles[U4x32] = unetProfile(4, 32)
+	profiles[U4x64] = unetProfile(4, 64)
+	profiles[U4x128] = unetProfile(4, 128)
+	profiles[U5x32] = unetProfile(5, 32)
+	profiles[U5x64] = unetProfile(5, 64)
+	profiles[U5x128] = unetProfile(5, 128)
+}
+
+// ProfileFor returns the class-level generation profile.
+func ProfileFor(c Class) Profile {
+	if c < 0 || c >= NumClasses {
+		return Profile{}
+	}
+	return profiles[c]
+}
+
+// jitter draws the per-job realisation of a class profile. Users run the
+// same model with different batch sizes, datasets and learning-rate
+// schedules, so *levels* (memory footprint, mean utilization) vary a lot
+// between jobs of the same class, while the *dynamics* — duty cycle, step
+// period, sawtooth amplitude, the power/utilization coupling — stay
+// comparatively stable. This asymmetry is what makes the covariance
+// embedding the strongest feature set in the paper: level-based features
+// smear across jobs, joint-dynamics features do not.
+func (p Profile) jitter(rng *rand.Rand) Profile {
+	q := p
+	// Stable dynamics cues (small jitter).
+	q.StepTime *= math.Exp(rng.NormFloat64() * 0.08)
+	q.Duty = clamp(q.Duty+rng.NormFloat64()*0.02, 0.30, 0.97)
+	q.MemSawMiB *= math.Exp(rng.NormFloat64() * 0.10)
+	q.MemUtilRatio = clamp(q.MemUtilRatio*math.Exp(rng.NormFloat64()*0.05), 0.1, 1.0)
+	q.PowerEff = clamp(q.PowerEff+rng.NormFloat64()*0.02, 0.4, 1.05)
+	q.StallRate *= math.Exp(rng.NormFloat64() * 0.25)
+	// Unstable level cues (large jitter): batch size, input resolution and
+	// dataset change the footprint and mean load run to run.
+	q.UtilHigh = clamp(q.UtilHigh+rng.NormFloat64()*3.0, 5, 100)
+	q.UtilLow = clamp(q.UtilLow*math.Exp(rng.NormFloat64()*0.3), 0, q.UtilHigh*0.8)
+	memScale := math.Exp(rng.NormFloat64() * 0.22)
+	q.MemBaseMiB *= memScale
+	q.MemActMiB *= memScale * math.Exp(rng.NormFloat64()*0.12)
+	q.EpochTime *= math.Exp(rng.NormFloat64() * 0.25)
+	q.CPUUtilPct = clamp(q.CPUUtilPct+rng.NormFloat64()*6, 5, 100)
+	// Users whose jittered configuration would not fit the V100 shrink the
+	// batch until it does, exactly as on the real cluster.
+	const budget = 30000.0
+	if total := q.MemBaseMiB + q.MemActMiB + q.MemSawMiB; total > budget {
+		fit := (budget - q.MemBaseMiB) / (q.MemActMiB + q.MemSawMiB)
+		if fit < 0.1 {
+			fit = 0.1
+		}
+		q.MemActMiB *= fit
+		q.MemSawMiB *= fit
+	}
+	return q
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

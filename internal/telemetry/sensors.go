@@ -1,0 +1,143 @@
+// Package telemetry simulates the MIT Supercloud labelled dataset: per-GPU
+// DCGM time series (Table III of the paper), per-node CPU/Slurm-profiling
+// time series (Table II), and a scheduler log, for 3,430 deep-learning
+// training jobs drawn from 26 model classes.
+//
+// The real labelled dataset is distribution-gated (https://dcc.mit.edu), so
+// this package is the substitution mandated by the reproduction plan: it
+// reproduces the mechanisms that make the classification task non-trivial —
+// class signal carried by the joint dynamics of correlated sensors, a
+// class-agnostic startup phase that degrades "first 60 seconds" windows,
+// log-normal job durations, per-GPU labelling repeated across multi-GPU
+// jobs, and occasional telemetry gaps.
+//
+// All generation is deterministic given the Config seed, and window
+// extraction is a pure function of (job, gpu, start-time) so overlapping
+// windows agree on their overlap.
+package telemetry
+
+// GPUSensor indexes the seven DCGM GPU metrics of the paper's Table III.
+// The challenge datasets order the last tensor dimension exactly this way.
+type GPUSensor int
+
+const (
+	UtilizationGPUPct GPUSensor = iota
+	UtilizationMemoryPct
+	MemoryFreeMiB
+	MemoryUsedMiB
+	TemperatureGPU
+	TemperatureMemory
+	PowerDrawW
+
+	NumGPUSensors // = 7
+)
+
+var gpuSensorNames = [NumGPUSensors]string{
+	"utilization_gpu_pct",
+	"utilization_memory_pct",
+	"memory_free_MiB",
+	"memory_used_MiB",
+	"temperature_gpu",
+	"temperature_memory",
+	"power_draw_W",
+}
+
+var gpuSensorDescriptions = [NumGPUSensors]string{
+	"Percentage of GPU utilized",
+	"Percentage of memory utilized",
+	"Available GPU memory",
+	"GPU memory in use",
+	"GPU temperature",
+	"GPU Memory temperature",
+	"Power drawn",
+}
+
+// String returns the DCGM column name used by the challenge files.
+func (s GPUSensor) String() string {
+	if s < 0 || s >= NumGPUSensors {
+		return "unknown_gpu_sensor"
+	}
+	return gpuSensorNames[s]
+}
+
+// Description returns the paper's Table III description.
+func (s GPUSensor) Description() string {
+	if s < 0 || s >= NumGPUSensors {
+		return ""
+	}
+	return gpuSensorDescriptions[s]
+}
+
+// CPUSensor indexes the CPU-side metrics of the paper's Table II.
+type CPUSensor int
+
+const (
+	CPUFrequency CPUSensor = iota
+	CPUTime
+	CPUUtilization
+	RSS
+	VMSize
+	Pages
+	ReadMB
+	WriteMB
+
+	NumCPUSensors // = 8
+)
+
+var cpuSensorNames = [NumCPUSensors]string{
+	"CPUFrequency",
+	"CPUTime",
+	"CPUUtilization",
+	"RSS",
+	"VMSize",
+	"Pages",
+	"ReadMB",
+	"WriteMB",
+}
+
+var cpuSensorDescriptions = [NumCPUSensors]string{
+	"CPU clock frequency",
+	"Time spent on compute by CPU",
+	"CPU utilization by job",
+	"Resident Memory Footprint Set Size",
+	"Virtual memory used by process",
+	"Linux memory pages",
+	"Amount of data read",
+	"Amount of data written",
+}
+
+// String returns the Slurm-profiling column name.
+func (s CPUSensor) String() string {
+	if s < 0 || s >= NumCPUSensors {
+		return "unknown_cpu_sensor"
+	}
+	return cpuSensorNames[s]
+}
+
+// Description returns the paper's Table II description.
+func (s CPUSensor) Description() string {
+	if s < 0 || s >= NumCPUSensors {
+		return ""
+	}
+	return cpuSensorDescriptions[s]
+}
+
+// Hardware constants of the simulated TX-Gaia GPU partition: dual Intel Xeon
+// Gold 6248 (2×20 cores, 384 GB) and two NVIDIA V100-32GB per node.
+const (
+	GPUMemoryTotalMiB = 32510.0 // V100 32 GB as reported by DCGM
+	GPUPowerIdleW     = 42.0
+	GPUPowerMaxW      = 300.0
+	AmbientTempC      = 30.0
+	GPUsPerNode       = 2
+	CoresPerNode      = 40
+	NodeRAMMiB        = 384 * 1024.0
+
+	// GPUSampleDT is the DCGM sampling period. The challenge's 60-second
+	// windows contain 540 samples, fixing the rate at 9 Hz.
+	GPUSampleDT = 60.0 / 540.0
+
+	// CPUSampleDT is the Slurm-profiling sampling period; CPU and GPU series
+	// have different lengths for the same trial, as the paper stresses.
+	CPUSampleDT = 10.0
+)

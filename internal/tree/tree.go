@@ -1,0 +1,319 @@
+// Package tree implements CART decision-tree classification: exact greedy
+// splits on the Gini criterion with optional per-node feature subsampling.
+// It is the base learner for internal/forest and deliberately matches the
+// semantics of scikit-learn's DecisionTreeClassifier as used by the paper's
+// RandomForestClassifier baseline.
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/mat"
+)
+
+// Config controls tree growth.
+type Config struct {
+	// MaxDepth limits tree depth (0 = unlimited).
+	MaxDepth int
+	// MinSamplesSplit is the minimum node size eligible for splitting.
+	MinSamplesSplit int
+	// MinSamplesLeaf is the minimum samples each child must keep.
+	MinSamplesLeaf int
+	// MaxFeatures is the number of features sampled per node
+	// (0 = all features, the plain CART behaviour).
+	MaxFeatures int
+	// Seed drives feature subsampling.
+	Seed int64
+}
+
+// DefaultConfig grows an unpruned CART tree.
+func DefaultConfig() Config {
+	return Config{MinSamplesSplit: 2, MinSamplesLeaf: 1}
+}
+
+type node struct {
+	feature   int
+	threshold float64
+	left      int
+	right     int
+	leaf      bool
+	probs     []float64
+}
+
+// Classifier is a fitted decision tree.
+type Classifier struct {
+	cfg        Config
+	nodes      []node
+	numClasses int
+	numFeats   int
+	importance []float64
+}
+
+// New returns an unfitted tree with the given config.
+func New(cfg Config) *Classifier {
+	if cfg.MinSamplesSplit < 2 {
+		cfg.MinSamplesSplit = 2
+	}
+	if cfg.MinSamplesLeaf < 1 {
+		cfg.MinSamplesLeaf = 1
+	}
+	return &Classifier{cfg: cfg}
+}
+
+// Fit grows the tree on all rows of x.
+func (t *Classifier) Fit(x *mat.Matrix, y []int, numClasses int) error {
+	idx := make([]int, x.Rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	return t.FitIndices(x, y, idx, numClasses)
+}
+
+// FitIndices grows the tree on the given row subset (possibly with
+// repetition — forests pass bootstrap samples this way).
+func (t *Classifier) FitIndices(x *mat.Matrix, y []int, idx []int, numClasses int) error {
+	if x.Rows != len(y) {
+		return fmt.Errorf("tree: %d rows vs %d labels", x.Rows, len(y))
+	}
+	if len(idx) == 0 {
+		return errors.New("tree: empty training subset")
+	}
+	if numClasses < 2 {
+		return fmt.Errorf("tree: need at least 2 classes, got %d", numClasses)
+	}
+	for _, i := range idx {
+		if i < 0 || i >= x.Rows {
+			return fmt.Errorf("tree: index %d out of range", i)
+		}
+		if y[i] < 0 || y[i] >= numClasses {
+			return fmt.Errorf("tree: label %d out of range [0,%d)", y[i], numClasses)
+		}
+	}
+	t.numClasses = numClasses
+	t.numFeats = x.Cols
+	t.nodes = t.nodes[:0]
+	t.importance = make([]float64, x.Cols)
+	rng := rand.New(rand.NewSource(t.cfg.Seed))
+	own := make([]int, len(idx))
+	copy(own, idx)
+	t.grow(x, y, own, 0, rng, float64(len(idx)))
+	return nil
+}
+
+// grow builds the subtree for the samples in idx and returns its node id.
+func (t *Classifier) grow(x *mat.Matrix, y []int, idx []int, depth int, rng *rand.Rand, rootN float64) int {
+	counts := make([]float64, t.numClasses)
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	n := float64(len(idx))
+	gini := giniImpurity(counts, n)
+
+	id := len(t.nodes)
+	t.nodes = append(t.nodes, node{})
+
+	if gini == 0 || len(idx) < t.cfg.MinSamplesSplit ||
+		(t.cfg.MaxDepth > 0 && depth >= t.cfg.MaxDepth) {
+		t.makeLeaf(id, counts, n)
+		return id
+	}
+
+	feat, thresh, gain, ok := t.bestSplit(x, y, idx, counts, gini, rng)
+	if !ok {
+		t.makeLeaf(id, counts, n)
+		return id
+	}
+
+	var left, right []int
+	for _, i := range idx {
+		if x.At(i, feat) <= thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < t.cfg.MinSamplesLeaf || len(right) < t.cfg.MinSamplesLeaf {
+		t.makeLeaf(id, counts, n)
+		return id
+	}
+
+	t.importance[feat] += gain * n / rootN
+
+	l := t.grow(x, y, left, depth+1, rng, rootN)
+	r := t.grow(x, y, right, depth+1, rng, rootN)
+	t.nodes[id] = node{feature: feat, threshold: thresh, left: l, right: r}
+	return id
+}
+
+func (t *Classifier) makeLeaf(id int, counts []float64, n float64) {
+	probs := make([]float64, len(counts))
+	for c, v := range counts {
+		probs[c] = v / n
+	}
+	t.nodes[id] = node{leaf: true, probs: probs}
+}
+
+// bestSplit scans candidate features for the split maximising Gini gain.
+func (t *Classifier) bestSplit(x *mat.Matrix, y []int, idx []int, counts []float64, parentGini float64, rng *rand.Rand) (feat int, thresh, gain float64, ok bool) {
+	feats := t.candidateFeatures(rng)
+	n := float64(len(idx))
+
+	sorted := make([]int, len(idx))
+	leftCounts := make([]float64, t.numClasses)
+	// Zero-gain splits are accepted (matching scikit-learn's
+	// min_impurity_decrease=0); XOR-like problems need them because the
+	// root split only pays off deeper down.
+	bestGain := -1.0
+
+	for _, f := range feats {
+		copy(sorted, idx)
+		sort.Slice(sorted, func(a, b int) bool { return x.At(sorted[a], f) < x.At(sorted[b], f) })
+		for c := range leftCounts {
+			leftCounts[c] = 0
+		}
+		var nl float64
+		for k := 0; k < len(sorted)-1; k++ {
+			i := sorted[k]
+			leftCounts[y[i]]++
+			nl++
+			v, next := x.At(i, f), x.At(sorted[k+1], f)
+			if v == next {
+				continue
+			}
+			if int(nl) < t.cfg.MinSamplesLeaf || len(sorted)-int(nl) < t.cfg.MinSamplesLeaf {
+				continue
+			}
+			nr := n - nl
+			gl := giniFromLeft(leftCounts, counts, nl, nr)
+			g := parentGini - (nl*gl.left+nr*gl.right)/n
+			if g > bestGain {
+				bestGain = g
+				feat = f
+				thresh = (v + next) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thresh, bestGain, ok
+}
+
+type giniPair struct{ left, right float64 }
+
+// giniFromLeft computes child impurities from left counts and totals.
+func giniFromLeft(leftCounts, total []float64, nl, nr float64) giniPair {
+	var sl, sr float64
+	for c, lc := range leftCounts {
+		rc := total[c] - lc
+		sl += lc * lc
+		sr += rc * rc
+	}
+	var g giniPair
+	if nl > 0 {
+		g.left = 1 - sl/(nl*nl)
+	}
+	if nr > 0 {
+		g.right = 1 - sr/(nr*nr)
+	}
+	return g
+}
+
+func giniImpurity(counts []float64, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	var s float64
+	for _, c := range counts {
+		s += c * c
+	}
+	return 1 - s/(n*n)
+}
+
+// candidateFeatures returns the features considered at one node.
+func (t *Classifier) candidateFeatures(rng *rand.Rand) []int {
+	k := t.cfg.MaxFeatures
+	if k <= 0 || k >= t.numFeats {
+		all := make([]int, t.numFeats)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	perm := rng.Perm(t.numFeats)
+	return perm[:k]
+}
+
+// PredictProbaRow returns the leaf class distribution for one feature row.
+func (t *Classifier) PredictProbaRow(row []float64) ([]float64, error) {
+	if len(t.nodes) == 0 {
+		return nil, errors.New("tree: not fitted")
+	}
+	if len(row) != t.numFeats {
+		return nil, fmt.Errorf("tree: row has %d features, fitted on %d", len(row), t.numFeats)
+	}
+	id := 0
+	for !t.nodes[id].leaf {
+		nd := &t.nodes[id]
+		if row[nd.feature] <= nd.threshold {
+			id = nd.left
+		} else {
+			id = nd.right
+		}
+	}
+	return t.nodes[id].probs, nil
+}
+
+// Predict labels every row of x.
+func (t *Classifier) Predict(x *mat.Matrix) ([]int, error) {
+	out := make([]int, x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		p, err := t.PredictProbaRow(x.Row(i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = mat.ArgMax(p)
+	}
+	return out, nil
+}
+
+// FeatureImportances returns normalised Gini importances (summing to 1 when
+// any split exists).
+func (t *Classifier) FeatureImportances() []float64 {
+	out := make([]float64, len(t.importance))
+	var total float64
+	for _, v := range t.importance {
+		total += v
+	}
+	if total == 0 {
+		return out
+	}
+	for i, v := range t.importance {
+		out[i] = v / total
+	}
+	return out
+}
+
+// NumNodes reports the tree size (diagnostics and tests).
+func (t *Classifier) NumNodes() int { return len(t.nodes) }
+
+// Depth returns the maximum depth of the fitted tree.
+func (t *Classifier) Depth() int {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	var walk func(id int) int
+	walk = func(id int) int {
+		nd := &t.nodes[id]
+		if nd.leaf {
+			return 0
+		}
+		l, r := walk(nd.left), walk(nd.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return walk(0)
+}

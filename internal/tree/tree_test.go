@@ -1,0 +1,277 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+// xorData builds the classic XOR problem no single split can solve.
+func xorData() (*mat.Matrix, []int) {
+	x, _ := mat.FromRows([][]float64{
+		{0, 0}, {0, 1}, {1, 0}, {1, 1},
+		{0.1, 0.1}, {0.1, 0.9}, {0.9, 0.1}, {0.9, 0.9},
+	})
+	y := []int{0, 1, 1, 0, 0, 1, 1, 0}
+	return x, y
+}
+
+func TestFitPredictSeparable(t *testing.T) {
+	x, _ := mat.FromRows([][]float64{{1}, {2}, {3}, {10}, {11}, {12}})
+	y := []int{0, 0, 0, 1, 1, 1}
+	tr := New(DefaultConfig())
+	if err := tr.Fit(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := tr.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pred {
+		if p != y[i] {
+			t.Errorf("sample %d predicted %d, want %d", i, p, y[i])
+		}
+	}
+}
+
+func TestFitXOR(t *testing.T) {
+	x, y := xorData()
+	tr := New(DefaultConfig())
+	if err := tr.Fit(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	pred, _ := tr.Predict(x)
+	for i, p := range pred {
+		if p != y[i] {
+			t.Errorf("XOR sample %d predicted %d, want %d", i, p, y[i])
+		}
+	}
+	if tr.Depth() < 2 {
+		t.Errorf("XOR needs depth ≥ 2, got %d", tr.Depth())
+	}
+}
+
+func TestMaxDepthLimitsTree(t *testing.T) {
+	x, y := xorData()
+	tr := New(Config{MaxDepth: 1, MinSamplesSplit: 2, MinSamplesLeaf: 1})
+	if err := tr.Fit(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() > 1 {
+		t.Errorf("depth %d exceeds MaxDepth 1", tr.Depth())
+	}
+}
+
+func TestMinSamplesLeaf(t *testing.T) {
+	x, _ := mat.FromRows([][]float64{{1}, {2}, {3}, {4}, {5}, {6}})
+	y := []int{0, 0, 0, 1, 1, 1}
+	tr := New(Config{MinSamplesSplit: 2, MinSamplesLeaf: 3})
+	if err := tr.Fit(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	// With leaf ≥ 3 only the 3/3 split is legal.
+	pred, _ := tr.Predict(x)
+	acc := 0
+	for i, p := range pred {
+		if p == y[i] {
+			acc++
+		}
+	}
+	if acc != 6 {
+		t.Errorf("expected perfect 3/3 split, got %d/6", acc)
+	}
+}
+
+func TestPredictProbaRow(t *testing.T) {
+	x, _ := mat.FromRows([][]float64{{0}, {0}, {1}})
+	y := []int{0, 1, 1}
+	tr := New(Config{MaxDepth: 1, MinSamplesSplit: 2, MinSamplesLeaf: 1})
+	if err := tr.Fit(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	p, err := tr.PredictProbaRow([]float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p[0]-0.5) > 1e-12 || math.Abs(p[1]-0.5) > 1e-12 {
+		t.Errorf("left leaf probs = %v, want [0.5 0.5]", p)
+	}
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("probs sum to %v", sum)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	tr := New(DefaultConfig())
+	x := mat.New(3, 2)
+	if err := tr.Fit(x, []int{0, 1}, 2); err == nil {
+		t.Error("label length mismatch should fail")
+	}
+	if err := tr.Fit(x, []int{0, 1, 5}, 2); err == nil {
+		t.Error("out-of-range label should fail")
+	}
+	if err := tr.Fit(x, []int{0, 0, 0}, 1); err == nil {
+		t.Error("single class count should fail")
+	}
+	if err := tr.FitIndices(x, []int{0, 0, 1}, nil, 2); err == nil {
+		t.Error("empty index set should fail")
+	}
+	if err := tr.FitIndices(x, []int{0, 0, 1}, []int{9}, 2); err == nil {
+		t.Error("bad index should fail")
+	}
+	if _, err := tr.PredictProbaRow([]float64{1, 2}); err == nil {
+		t.Error("predict before fit should fail")
+	}
+	if err := tr.Fit(x, []int{0, 1, 0}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.PredictProbaRow([]float64{1}); err == nil {
+		t.Error("wrong feature count should fail")
+	}
+}
+
+func TestFitIndicesBootstrap(t *testing.T) {
+	// Fitting on a repeated subset must only see those samples.
+	x, _ := mat.FromRows([][]float64{{0}, {1}, {2}, {100}})
+	y := []int{0, 0, 0, 1}
+	tr := New(DefaultConfig())
+	// Bootstrap without the outlier: prediction for 100 should be class 0.
+	if err := tr.FitIndices(x, y, []int{0, 1, 2, 2, 1, 0}, 2); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := tr.PredictProbaRow([]float64{100})
+	if mat.ArgMax(p) != 0 {
+		t.Errorf("bootstrap leaked unseen sample: probs %v", p)
+	}
+}
+
+func TestFeatureImportances(t *testing.T) {
+	// Only feature 1 carries signal.
+	rng := rand.New(rand.NewSource(4))
+	n := 200
+	x := mat.New(n, 3)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, rng.Float64())
+		sig := rng.Float64()
+		x.Set(i, 1, sig)
+		x.Set(i, 2, rng.Float64())
+		if sig > 0.5 {
+			y[i] = 1
+		}
+	}
+	tr := New(DefaultConfig())
+	if err := tr.Fit(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	imp := tr.FeatureImportances()
+	if imp[1] < 0.8 {
+		t.Errorf("informative feature importance %v, want > 0.8 (all: %v)", imp[1], imp)
+	}
+	sum := imp[0] + imp[1] + imp[2]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importances sum to %v", sum)
+	}
+}
+
+func TestMaxFeaturesSubsampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 100
+	x := mat.New(n, 10)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 10; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+		if x.At(i, 0) > 0 {
+			y[i] = 1
+		}
+	}
+	tr := New(Config{MaxFeatures: 2, MinSamplesSplit: 2, MinSamplesLeaf: 1, Seed: 3})
+	if err := tr.Fit(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Subsampled trees still fit; accuracy on train should be high because
+	// the tree can split on feature 0 at some depth.
+	pred, _ := tr.Predict(x)
+	correct := 0
+	for i, p := range pred {
+		if p == y[i] {
+			correct++
+		}
+	}
+	if correct < 95 {
+		t.Errorf("train accuracy %d/100 with feature subsampling", correct)
+	}
+}
+
+// TestTrainAccuracyPerfectWhenUnconstrained property: an unpruned CART tree
+// must perfectly fit any consistent training set (no duplicate rows with
+// different labels).
+func TestTrainAccuracyPerfectWhenUnconstrained(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(40)
+		k := 2 + rng.Intn(3)
+		x := mat.New(n, 3)
+		y := make([]int, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < 3; j++ {
+				x.Set(i, j, rng.NormFloat64())
+			}
+			y[i] = rng.Intn(k)
+		}
+		tr := New(DefaultConfig())
+		if err := tr.Fit(x, y, k); err != nil {
+			return false
+		}
+		pred, err := tr.Predict(x)
+		if err != nil {
+			return false
+		}
+		for i := range pred {
+			if pred[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterminismWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	n := 80
+	x := mat.New(n, 5)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 5; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+		y[i] = i % 3
+	}
+	cfg := Config{MaxFeatures: 2, Seed: 77, MinSamplesSplit: 2, MinSamplesLeaf: 1}
+	t1, t2 := New(cfg), New(cfg)
+	if err := t1.Fit(x, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Fit(x, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := t1.Predict(x)
+	p2, _ := t2.Predict(x)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("same seed produced different trees")
+		}
+	}
+}

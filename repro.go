@@ -1,0 +1,140 @@
+// Package repro is the public facade of the MIT Supercloud Workload
+// Classification Challenge reproduction (IPDPS-W 2022, arXiv:2204.05839).
+//
+// The heavy lifting lives in the internal packages (see DESIGN.md for the
+// system inventory); this package re-exports the handful of entry points a
+// downstream user needs:
+//
+//   - GenerateDataset: simulate the labelled dataset and extract one of the
+//     seven Table IV challenge datasets.
+//   - TrainRFCov: the paper's best baseline (random forest on covariance
+//     features), fitted and evaluated in one call.
+//   - RunExperiment: regenerate a paper table by name.
+//
+// For anything beyond these — other baselines, custom grids, npz interop —
+// import the internal packages directly; they are documented and tested as
+// the real API surface.
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/forest"
+	"repro/internal/metrics"
+	"repro/internal/telemetry"
+)
+
+// Dataset bundles a built challenge dataset with its generation settings.
+type Dataset struct {
+	Challenge *dataset.Challenge
+	Sim       *telemetry.Simulator
+}
+
+// GenerateDataset simulates the labelled dataset at the given scale
+// (0 < scale ≤ 1, where 1 reproduces the paper's 3,430 jobs) and extracts
+// the named challenge dataset ("60-start-1", "60-middle-1", "60-random-1"
+// … "60-random-5") with the challenge's 80/20 split.
+func GenerateDataset(name string, scale float64, seed int64) (*Dataset, error) {
+	spec, ok := dataset.SpecByName(name)
+	if !ok {
+		return nil, fmt.Errorf("repro: unknown dataset %q", name)
+	}
+	sim, err := telemetry.NewSimulator(telemetry.Config{Seed: seed, Scale: scale, GapRate: 1})
+	if err != nil {
+		return nil, err
+	}
+	opts := dataset.DefaultBuildOptions()
+	opts.Seed = seed
+	ch, err := dataset.Build(sim, spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Challenge: ch, Sim: sim}, nil
+}
+
+// RFCovResult reports a TrainRFCov run.
+type RFCovResult struct {
+	Accuracy   float64
+	Confusion  *metrics.ConfusionMatrix
+	Model      *forest.Classifier
+	ClassNames []string
+}
+
+// TrainRFCov runs the paper's strongest baseline end to end: standardise,
+// covariance-embed, fit a random forest, and score the held-out test split.
+func TrainRFCov(ds *Dataset, trees int, seed int64) (*RFCovResult, error) {
+	fp, err := core.CovFeatures(ds.Challenge)
+	if err != nil {
+		return nil, err
+	}
+	f := forest.New(forest.Config{NumTrees: trees, Bootstrap: true, Seed: seed})
+	if err := f.Fit(fp.TrainX, fp.TrainY, int(telemetry.NumClasses)); err != nil {
+		return nil, err
+	}
+	pred, err := f.Predict(fp.TestX)
+	if err != nil {
+		return nil, err
+	}
+	acc, err := metrics.Accuracy(fp.TestY, pred)
+	if err != nil {
+		return nil, err
+	}
+	cm, err := metrics.NewConfusionMatrix(fp.TestY, pred, int(telemetry.NumClasses))
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, telemetry.NumClasses)
+	for _, c := range telemetry.AllClasses() {
+		names[int(c)] = c.Name()
+	}
+	return &RFCovResult{Accuracy: acc, Confusion: cm, Model: f, ClassNames: names}, nil
+}
+
+// RunExperiment regenerates a paper table by name ("1", "2", "4", "5", "6",
+// "7", "xgb") under the named preset ("smoke", "scaled", "full") and
+// returns the rendered table text.
+func RunExperiment(table, preset string) (string, error) {
+	p, err := core.PresetByName(preset)
+	if err != nil {
+		return "", err
+	}
+	sim, err := core.NewSimulator(p)
+	if err != nil {
+		return "", err
+	}
+	switch table {
+	case "1":
+		return core.FormatTable1(core.RunTable1(sim)), nil
+	case "2", "3":
+		return core.FormatTables2And3(), nil
+	case "4":
+		rows, err := core.RunTable4(sim, p.Seed)
+		if err != nil {
+			return "", err
+		}
+		return core.FormatTable4(rows), nil
+	case "5":
+		res, err := core.RunTable5(sim, p, nil)
+		if err != nil {
+			return "", err
+		}
+		return core.FormatTable5(res), nil
+	case "6":
+		res, err := core.RunTable6(sim, p, nil)
+		if err != nil {
+			return "", err
+		}
+		return core.FormatTable6(res), nil
+	case "7", "8", "9":
+		return core.FormatTables789(core.RunTables789(sim)), nil
+	case "xgb":
+		res, err := core.RunXGBoost(sim, p, nil)
+		if err != nil {
+			return "", err
+		}
+		return core.FormatXGB(res), nil
+	}
+	return "", fmt.Errorf("repro: unknown table %q", table)
+}

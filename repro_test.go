@@ -1,0 +1,68 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestGenerateDatasetErrors(t *testing.T) {
+	if _, err := repro.GenerateDataset("60-end-1", 0.05, 1); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	if _, err := repro.GenerateDataset("60-middle-1", 0, 1); err == nil {
+		t.Error("zero scale should fail")
+	}
+	if _, err := repro.GenerateDataset("60-middle-1", 2, 1); err == nil {
+		t.Error("scale > 1 should fail")
+	}
+}
+
+func TestGenerateAndTrainFacade(t *testing.T) {
+	ds, err := repro.GenerateDataset("60-middle-1", 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Challenge.Train.Len() == 0 || ds.Challenge.Test.Len() == 0 {
+		t.Fatal("empty dataset")
+	}
+	res, err := repro.TrainRFCov(ds, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.25 {
+		t.Errorf("facade RF-Cov accuracy %.3f at 5%% scale", res.Accuracy)
+	}
+	if len(res.ClassNames) != 26 {
+		t.Errorf("got %d class names", len(res.ClassNames))
+	}
+	if res.Confusion == nil || res.Model == nil {
+		t.Error("missing result fields")
+	}
+}
+
+func TestRunExperimentMetaTables(t *testing.T) {
+	for _, table := range []string{"1", "2", "7"} {
+		out, err := repro.RunExperiment(table, "smoke")
+		if err != nil {
+			t.Fatalf("table %s: %v", table, err)
+		}
+		if len(out) == 0 {
+			t.Errorf("table %s produced no output", table)
+		}
+	}
+	out, err := repro.RunExperiment("4", "smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "60-middle-1") {
+		t.Errorf("table 4 output missing datasets:\n%s", out)
+	}
+	if _, err := repro.RunExperiment("12", "smoke"); err == nil {
+		t.Error("unknown table should fail")
+	}
+	if _, err := repro.RunExperiment("1", "warp"); err == nil {
+		t.Error("unknown preset should fail")
+	}
+}
