@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/fleet"
 	"repro/internal/forest"
 	"repro/internal/mat"
 	"repro/internal/metrics"
@@ -444,6 +445,156 @@ func BenchmarkAblationDownsample(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// --- Serving-path benches (DESIGN.md §6) ---
+
+// servingMatrix cycles the covariance test rows into a fixed-height batch,
+// the shape one fleet tick hands the model.
+func servingMatrix(b *testing.B, rows int) *mat.Matrix {
+	b.Helper()
+	fixtures(b)
+	out := mat.New(rows, fixCov.TestX.Cols)
+	for i := 0; i < rows; i++ {
+		copy(out.Row(i), fixCov.TestX.Row(i%fixCov.TestX.Rows))
+	}
+	return out
+}
+
+// BenchmarkServingForest compares 256 single-row PredictProba calls (the
+// pre-fleet serving pattern: one call per monitored job) against one
+// batched call on the same 256-row matrix. The "rows/s" metric is the
+// serving throughput either path sustains.
+func BenchmarkServingForest(b *testing.B) {
+	batch := servingMatrix(b, 256)
+	f := forest.New(forest.Config{NumTrees: 50, Bootstrap: true, Seed: 1})
+	if err := f.Fit(fixCov.TrainX, fixCov.TrainY, int(telemetry.NumClasses)); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("single256", func(b *testing.B) {
+		row := mat.New(1, batch.Cols)
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < batch.Rows; r++ {
+				copy(row.Data, batch.Row(r))
+				if _, err := f.PredictProba(row); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(batch.Rows*b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+	b.Run("batched256", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := f.PredictProbaBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(batch.Rows*b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+}
+
+// BenchmarkServingXGB is the same single-vs-batched comparison for the
+// boosted ensemble.
+func BenchmarkServingXGB(b *testing.B) {
+	batch := servingMatrix(b, 256)
+	m := xgb.New(xgb.Config{NumRounds: 40, LearningRate: 0.3, MaxDepth: 6,
+		Lambda: 1, MinChildWeight: 1, Subsample: 1, Seed: 1})
+	if err := m.Fit(fixCov.TrainX, fixCov.TrainY, int(telemetry.NumClasses), nil, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("single256", func(b *testing.B) {
+		row := mat.New(1, batch.Cols)
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < batch.Rows; r++ {
+				copy(row.Data, batch.Row(r))
+				if _, err := m.PredictProba(row); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(batch.Rows*b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+	b.Run("batched256", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := m.PredictProbaBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(batch.Rows*b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+}
+
+// BenchmarkFleetThroughput measures the full serving loop at several fleet
+// sizes: telemetry for every job is ingested sample by sample and a batched
+// inference tick fires every six seconds of simulated time. Custom metrics
+// report sustained ingest ("samples/s") and classification ("cls/s")
+// throughput — the serving-path baseline for future PRs.
+func BenchmarkFleetThroughput(b *testing.B) {
+	fixtures(b)
+	var scaler preprocess.StandardScaler
+	if _, err := scaler.FitTransform(fixMid.Train.X.Flatten()); err != nil {
+		b.Fatal(err)
+	}
+	model := forest.New(forest.Config{NumTrees: 50, Bootstrap: true, Seed: 1})
+	if err := model.Fit(fixCov.TrainX, fixCov.TrainY, int(telemetry.NumClasses)); err != nil {
+		b.Fatal(err)
+	}
+	window, sensors := fixMid.Train.X.T, fixMid.Train.X.C
+	const tickEvery = 54 // samples between ticks: six seconds at 9 Hz
+
+	var sources []*telemetry.Job
+	for _, j := range fixSim.Jobs() {
+		if j.Duration >= 67 {
+			sources = append(sources, j)
+		}
+	}
+	if len(sources) == 0 {
+		b.Fatal("no streamable jobs")
+	}
+	nSamples := window + tickEvery
+	series := make([][][]float64, len(sources))
+	for si, j := range sources {
+		w, err := j.GPUWindow(0, 0, nSamples)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := make([][]float64, nSamples)
+		for t := 0; t < nSamples; t++ {
+			rows[t] = w.Row(t)
+		}
+		series[si] = rows
+	}
+
+	for _, jobs := range []int{16, 64, 256} {
+		b.Run(map[int]string{16: "jobs16", 64: "jobs64", 256: "jobs256"}[jobs], func(b *testing.B) {
+			var ingested, classed uint64
+			for i := 0; i < b.N; i++ {
+				m, err := fleet.New(fleet.Config{
+					Window: window, Sensors: sensors, Scaler: &scaler, Model: model,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for t := 0; t < nSamples; t++ {
+					for k := 0; k < jobs; k++ {
+						if err := m.Ingest(k, series[k%len(series)][t]); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if t%tickEvery == tickEvery-1 {
+						if _, err := m.Tick(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				ingested += m.SamplesIngested()
+				classed += m.Classifications()
+			}
+			sec := b.Elapsed().Seconds()
+			b.ReportMetric(float64(ingested)/sec, "samples/s")
+			b.ReportMetric(float64(classed)/sec, "cls/s")
 		})
 	}
 }

@@ -1,0 +1,239 @@
+// Command wccserve demonstrates the serving path: it trains the paper's
+// best baseline offline, then replays live telemetry for a configurable
+// number of concurrent jobs through the fleet monitor and reports serving
+// throughput — samples/sec ingested, classifications/sec produced by the
+// batched inference ticks, and tick latency percentiles.
+//
+// Usage:
+//
+//	wccserve -jobs 256 -seconds 75
+//	wccserve -jobs 64 -scale 0.05 -trees 50 -workers 8 -tick 10ms
+//
+// When -jobs exceeds the simulated population of sufficiently long jobs,
+// telemetry series are fanned out to multiple fleet job IDs, so arbitrarily
+// large fleets can be driven from a small simulation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	jobs := flag.Int("jobs", 64, "number of concurrent jobs to monitor")
+	scale := flag.Float64("scale", 0.08, "simulation scale (1.0 = the paper's 3,430 jobs)")
+	seed := flag.Int64("seed", 1, "simulation and training seed")
+	trees := flag.Int("trees", 100, "random-forest ensemble size")
+	start := flag.Float64("start", 120, "job time at which replay begins (skips the class-agnostic startup phase)")
+	seconds := flag.Float64("seconds", 75, "seconds of telemetry to replay per job")
+	shards := flag.Int("shards", 0, "fleet registry shards (0 = default)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent ingest goroutines")
+	tick := flag.Duration("tick", 10*time.Millisecond, "batched inference interval")
+	flag.Parse()
+
+	if err := run(*jobs, *scale, *seed, *trees, *start, *seconds, *shards, *workers, *tick); err != nil {
+		fmt.Fprintln(os.Stderr, "wccserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(jobs int, scale float64, seed int64, trees int, start, seconds float64, shards, workers int, tick time.Duration) error {
+	if jobs < 1 {
+		return fmt.Errorf("need at least one job, got %d", jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	fmt.Printf("offline phase: training RF-Cov (%d trees) on 60-middle-1 at scale %.2f...\n", trees, scale)
+	ds, err := repro.GenerateDataset("60-middle-1", scale, seed)
+	if err != nil {
+		return err
+	}
+	res, err := repro.TrainRFCov(ds, trees, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  offline test accuracy: %.2f%%\n\n", res.Accuracy*100)
+
+	window := ds.Challenge.Train.X.T
+	sensors := ds.Challenge.Train.X.C
+	windowSec := float64(window) * telemetry.GPUSampleDT
+	if seconds <= windowSec {
+		return fmt.Errorf("replay horizon %.0fs must exceed the %.0fs window", seconds, windowSec)
+	}
+
+	// Source jobs must run long enough to fill a window after the start
+	// offset; replaying mid-job keeps the live windows in the same regime as
+	// the 60-middle training windows.
+	var sources []*telemetry.Job
+	for _, j := range ds.Sim.Jobs() {
+		if j.Duration >= start+windowSec+1 {
+			sources = append(sources, j)
+		}
+	}
+	if len(sources) == 0 {
+		return fmt.Errorf("no simulated job runs past start %.0fs + the %.0fs window", start, windowSec)
+	}
+	if len(sources) > jobs {
+		sources = sources[:jobs]
+	}
+	replay, err := telemetry.NewReplay(sources, 0, start, start+seconds)
+	if err != nil {
+		return err
+	}
+	// Fan each source series out to ceil(jobs/len) fleet IDs so any fleet
+	// size can be driven: fleet job k replays source k % len(sources).
+	fanout := make(map[int][]int, replay.NumJobs())
+	for k := 0; k < jobs; k++ {
+		src := sources[k%len(sources)]
+		fanout[src.ID] = append(fanout[src.ID], k)
+	}
+
+	monitor, err := repro.NewFleet(ds, res, shards)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("live phase: %d fleet jobs over %d distinct telemetry series, %dx%d windows, %d ingest workers, tick %s\n",
+		jobs, replay.NumJobs(), window, sensors, workers, tick)
+
+	// Ingest pipeline: one reader drains the time-ordered replay and routes
+	// samples to workers by fleet job ID, preserving per-job sample order.
+	type msg struct {
+		id     int
+		values []float64
+	}
+	chans := make([]chan msg, workers)
+	for i := range chans {
+		chans[i] = make(chan msg, 1024)
+	}
+	var ingestWG sync.WaitGroup
+	ingestErr := make(chan error, workers)
+	for i := range chans {
+		ingestWG.Add(1)
+		go func(ch chan msg) {
+			defer ingestWG.Done()
+			for m := range ch {
+				if err := monitor.Ingest(m.id, m.values); err != nil {
+					select {
+					case ingestErr <- err:
+					default:
+					}
+					for range ch {
+						// Keep draining so the producer never blocks on a
+						// full channel after a worker fails.
+					}
+					return
+				}
+			}
+		}(chans[i])
+	}
+
+	// Ticker: batched inference at a fixed cadence while ingest runs.
+	var tickDurations []time.Duration
+	tickDone := make(chan error, 1)
+	stopTicks := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(tick)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stopTicks:
+				tickDone <- nil
+				return
+			case <-ticker.C:
+				t0 := time.Now()
+				if _, err := monitor.Tick(); err != nil {
+					tickDone <- err
+					return
+				}
+				tickDurations = append(tickDurations, time.Since(t0))
+			}
+		}
+	}()
+
+	wallStart := time.Now()
+	for {
+		s, ok := replay.Next()
+		if !ok {
+			break
+		}
+		for _, id := range fanout[s.JobID] {
+			chans[id%workers] <- msg{id: id, values: s.Values}
+		}
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	ingestWG.Wait()
+	close(stopTicks)
+	if err := <-tickDone; err != nil {
+		return err
+	}
+	select {
+	case err := <-ingestErr:
+		return err
+	default:
+	}
+	// Final tick classifies whatever arrived after the last cadence tick.
+	t0 := time.Now()
+	if _, err := monitor.Tick(); err != nil {
+		return err
+	}
+	tickDurations = append(tickDurations, time.Since(t0))
+	elapsed := time.Since(wallStart)
+
+	ingested := monitor.SamplesIngested()
+	classed := monitor.Classifications()
+	fmt.Printf("\nreplayed %d samples into %d jobs in %s\n", ingested, monitor.NumJobs(), elapsed.Round(time.Millisecond))
+	fmt.Printf("  ingest throughput:  %.0f samples/sec\n", float64(ingested)/elapsed.Seconds())
+	fmt.Printf("  classifications:    %d (%.0f classifications/sec over %d ticks)\n",
+		classed, float64(classed)/elapsed.Seconds(), monitor.Ticks())
+	fmt.Printf("  tick latency:       p50 %s  p95 %s  max %s\n",
+		percentile(tickDurations, 0.50), percentile(tickDurations, 0.95), percentile(tickDurations, 1.0))
+
+	// Live accuracy: the fleet's final belief per job against the truth.
+	correct, scored := 0, 0
+	for k := 0; k < jobs; k++ {
+		pred, ok := monitor.Prediction(k)
+		if !ok {
+			continue
+		}
+		scored++
+		if telemetry.Class(pred.Class) == sources[k%len(sources)].Class {
+			correct++
+		}
+	}
+	if scored > 0 {
+		fmt.Printf("  live accuracy:      %.1f%% (%d/%d jobs classified)\n",
+			100*float64(correct)/float64(scored), scored, jobs)
+	}
+	return nil
+}
+
+// percentile returns the q-quantile of the observed durations (nearest-rank).
+func percentile(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i].Round(time.Microsecond)
+}

@@ -93,7 +93,7 @@ func RunTable6(sim *telemetry.Simulator, p Preset, logf func(string, ...any)) (*
 
 		// Standardise per the paper (no other preprocessing), then reshape
 		// back to sequences, optionally downsampled for the scaled presets.
-		trainZ, testZ, err := standardised(ch)
+		trainZ, testZ, _, err := standardised(ch)
 		if err != nil {
 			return nil, err
 		}

@@ -16,29 +16,33 @@ type FeaturePair struct {
 	TrainY []int
 	TestX  *mat.Matrix
 	TestY  []int
+	// Scaler carries the training-set statistics the features were
+	// standardised with, so serving paths can standardise live windows the
+	// exact same way (see repro.NewFleet).
+	Scaler *preprocess.StandardScaler
 }
 
 // standardised flattens both splits and standardises them with
 // training-set statistics, exactly the paper's first step.
-func standardised(ch *dataset.Challenge) (trainZ, testZ *mat.Matrix, err error) {
+func standardised(ch *dataset.Challenge) (trainZ, testZ *mat.Matrix, scaler *preprocess.StandardScaler, err error) {
 	trainFlat := ch.Train.X.Flatten()
 	testFlat := ch.Test.X.Flatten()
-	var scaler preprocess.StandardScaler
+	scaler = &preprocess.StandardScaler{}
 	trainZ, err = scaler.FitTransform(trainFlat)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	testZ, err = scaler.Transform(testFlat)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return trainZ, testZ, nil
+	return trainZ, testZ, scaler, nil
 }
 
 // CovFeatures runs the paper's covariance pipeline: standardise, then embed
 // every trial as the 28 unique sensor variances/covariances.
 func CovFeatures(ch *dataset.Challenge) (*FeaturePair, error) {
-	trainZ, testZ, err := standardised(ch)
+	trainZ, testZ, scaler, err := standardised(ch)
 	if err != nil {
 		return nil, err
 	}
@@ -51,14 +55,14 @@ func CovFeatures(ch *dataset.Challenge) (*FeaturePair, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &FeaturePair{TrainX: trainF, TrainY: ch.Train.Y, TestX: testF, TestY: ch.Test.Y}, nil
+	return &FeaturePair{TrainX: trainF, TrainY: ch.Train.Y, TestX: testF, TestY: ch.Test.Y, Scaler: scaler}, nil
 }
 
 // PCAFeatures runs the paper's PCA pipeline at the given dimension:
 // standardise the flattened trials, fit PCA on the training split, project
 // both splits.
 func PCAFeatures(ch *dataset.Challenge, dim int, seed int64) (*FeaturePair, error) {
-	trainZ, testZ, err := standardised(ch)
+	trainZ, testZ, scaler, err := standardised(ch)
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +81,7 @@ func PCAFeatures(ch *dataset.Challenge, dim int, seed int64) (*FeaturePair, erro
 	if err != nil {
 		return nil, err
 	}
-	return &FeaturePair{TrainX: trainF, TrainY: ch.Train.Y, TestX: testF, TestY: ch.Test.Y}, nil
+	return &FeaturePair{TrainX: trainF, TrainY: ch.Train.Y, TestX: testF, TestY: ch.Test.Y, Scaler: scaler}, nil
 }
 
 // CovFeatureNames labels the covariance embedding dimensions with DCGM

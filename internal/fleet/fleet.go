@@ -1,0 +1,266 @@
+// Package fleet scales the single-job stream monitor to datacenter scale:
+// thousands of jobs streaming telemetry concurrently, classified together.
+//
+// The paper frames workload classification as something an operator runs
+// continuously over live telemetry from the whole machine (§VI); package
+// stream provides the per-job building block (an incrementally maintained
+// sliding-window covariance embedding plus a classifier), and this package
+// provides the serving layer around it:
+//
+//   - a sharded registry of per-job WindowedEmbedders — job IDs hash to
+//     shards, each shard guarded by its own mutex, so concurrent ingest from
+//     many collector goroutines contends only within a shard;
+//   - an ingest path (Ingest) accepting one telemetry sample for any job,
+//     creating the job's embedder on first sight;
+//   - a batched inference engine (Tick) that coalesces every window that
+//     changed since the last tick into a single N×F feature matrix and runs
+//     one batched PredictProba call instead of N single-row calls.
+//
+// Models that implement BatchClassifier (forest, xgb) get their worker-pool
+// batched path; any stream.Classifier still works via one multi-row
+// PredictProba call. Either way per-row results are bit-identical to what a
+// per-job stream.Monitor would produce, so scaling out changes throughput,
+// not predictions.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mat"
+	"repro/internal/preprocess"
+	"repro/internal/stream"
+)
+
+// BatchClassifier is the fast path a model can offer for fleet serving: one
+// call scoring a whole N×F feature matrix, typically parallelised across
+// rows (forest.PredictProbaBatch, xgb.PredictProbaBatch). Row i of the
+// result must equal row i of PredictProba on the same matrix bit for bit.
+type BatchClassifier interface {
+	PredictProbaBatch(x *mat.Matrix) (*mat.Matrix, error)
+}
+
+// Config sizes a fleet monitor.
+type Config struct {
+	// Window and Sensors give the per-job sliding-window shape (the
+	// challenge's 540×7).
+	Window  int
+	Sensors int
+	// Scaler holds the offline training-time statistics every job's window
+	// is standardised with (see stream.NewWindowedEmbedder).
+	Scaler *preprocess.StandardScaler
+	// Model classifies embedded windows. When it also implements
+	// BatchClassifier, ticks use the batched path.
+	Model stream.Classifier
+	// Shards is the registry shard count (default 32). More shards spread
+	// ingest lock contention; the count is fixed at construction.
+	Shards int
+}
+
+// jobState is one job's slot in the registry, guarded by its shard's mutex.
+type jobState struct {
+	home    *shard // owning shard, for lock re-acquisition at write-back
+	emb     *stream.WindowedEmbedder
+	dirty   bool // samples arrived since the job was last classified
+	pred    *stream.Prediction
+	samples uint64
+}
+
+type shard struct {
+	mu   sync.Mutex
+	jobs map[int]*jobState
+}
+
+// Monitor is a fleet-wide live classifier. Ingest may be called from any
+// number of goroutines concurrently, including concurrently with Tick;
+// Tick itself is serialised internally.
+type Monitor struct {
+	cfg     Config
+	dim     int
+	batch   BatchClassifier // nil when Model has no batched path
+	shards  []*shard
+	tickMu  sync.Mutex
+	samples atomic.Uint64
+	ticks   atomic.Uint64
+	classed atomic.Uint64
+}
+
+// New validates the configuration and returns an empty fleet monitor.
+func New(cfg Config) (*Monitor, error) {
+	if cfg.Window < 2 || cfg.Sensors < 1 {
+		return nil, fmt.Errorf("fleet: invalid window shape %dx%d", cfg.Window, cfg.Sensors)
+	}
+	if cfg.Scaler == nil || len(cfg.Scaler.Means) != cfg.Window*cfg.Sensors {
+		return nil, errors.New("fleet: scaler not fitted for this window shape")
+	}
+	if cfg.Model == nil {
+		return nil, errors.New("fleet: nil model")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 32
+	}
+	m := &Monitor{
+		cfg:    cfg,
+		dim:    preprocess.CovarianceDim(cfg.Sensors),
+		shards: make([]*shard, cfg.Shards),
+	}
+	if b, ok := cfg.Model.(BatchClassifier); ok {
+		m.batch = b
+	}
+	for i := range m.shards {
+		m.shards[i] = &shard{jobs: make(map[int]*jobState)}
+	}
+	return m, nil
+}
+
+// shardFor hashes a job ID to its shard. Sequential IDs are mixed so bursts
+// of adjacent jobs do not all land on neighbouring shards.
+func (m *Monitor) shardFor(jobID int) *shard {
+	h := uint64(jobID) * 0x9e3779b97f4a7c15
+	return m.shards[(h>>32)%uint64(len(m.shards))]
+}
+
+// Ingest feeds one telemetry sample (one value per sensor) for the given
+// job, creating the job's embedder on first sight. Safe for concurrent use.
+func (m *Monitor) Ingest(jobID int, sample []float64) error {
+	sh := m.shardFor(jobID)
+	sh.mu.Lock()
+	js := sh.jobs[jobID]
+	if js == nil {
+		emb, err := stream.NewWindowedEmbedder(m.cfg.Window, m.cfg.Sensors, m.cfg.Scaler)
+		if err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+		js = &jobState{home: sh, emb: emb}
+		sh.jobs[jobID] = js
+	}
+	err := js.emb.Push(sample)
+	if err == nil {
+		js.dirty = true
+		js.samples++
+	}
+	sh.mu.Unlock()
+	if err == nil {
+		m.samples.Add(1)
+	}
+	return err
+}
+
+// TickStats reports one batched inference pass.
+type TickStats struct {
+	// Classified is the number of jobs scored this tick (the batch height).
+	Classified int
+	// Pending is the number of registered jobs whose window has not filled.
+	Pending int
+}
+
+// Tick runs one batched inference pass: every job whose window is full and
+// has received samples since its last classification is embedded into one
+// N×F matrix and scored with a single (batched, when available) model call.
+// Concurrent Ingest during a tick is safe; such samples are picked up by the
+// next tick.
+func (m *Monitor) Tick() (TickStats, error) {
+	m.tickMu.Lock()
+	defer m.tickMu.Unlock()
+
+	var stats TickStats
+	var ids []*jobState
+	var feats []float64
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for _, js := range sh.jobs {
+			if !js.dirty {
+				continue
+			}
+			if !js.emb.Ready() {
+				stats.Pending++
+				continue
+			}
+			feats = append(feats, make([]float64, m.dim)...)
+			if err := js.emb.FeaturesInto(feats[len(feats)-m.dim:]); err != nil {
+				sh.mu.Unlock()
+				return stats, err
+			}
+			js.dirty = false
+			ids = append(ids, js)
+		}
+		sh.mu.Unlock()
+	}
+	if len(ids) == 0 {
+		m.ticks.Add(1)
+		return stats, nil
+	}
+
+	batch := &mat.Matrix{Rows: len(ids), Cols: m.dim, Data: feats}
+	var probs *mat.Matrix
+	var err error
+	if m.batch != nil {
+		probs, err = m.batch.PredictProbaBatch(batch)
+	} else {
+		probs, err = m.cfg.Model.PredictProba(batch)
+	}
+	if err != nil {
+		return stats, err
+	}
+	if probs.Rows != len(ids) {
+		return stats, fmt.Errorf("fleet: model returned %d rows for %d windows", probs.Rows, len(ids))
+	}
+
+	// Write predictions back. jobState pointers are stable, but the dirty
+	// flag and pred field belong to the shard mutex, so re-lock per shard
+	// ordering doesn't matter — each job is visited once.
+	for i, js := range ids {
+		row := probs.Row(i)
+		best := mat.ArgMax(row)
+		pred := &stream.Prediction{Class: best, Probability: row[best], Probs: row}
+		js.home.mu.Lock()
+		js.pred = pred
+		js.home.mu.Unlock()
+	}
+	stats.Classified = len(ids)
+	m.ticks.Add(1)
+	m.classed.Add(uint64(len(ids)))
+	return stats, nil
+}
+
+// Prediction returns the most recent classification for the job, or false
+// if the job is unknown or has not been classified yet. The returned
+// prediction is immutable once published.
+func (m *Monitor) Prediction(jobID int) (*stream.Prediction, bool) {
+	sh := m.shardFor(jobID)
+	sh.mu.Lock()
+	js := sh.jobs[jobID]
+	var p *stream.Prediction
+	if js != nil {
+		p = js.pred
+	}
+	sh.mu.Unlock()
+	if p == nil {
+		return nil, false
+	}
+	return p, true
+}
+
+// NumJobs counts registered jobs across all shards.
+func (m *Monitor) NumJobs() int {
+	n := 0
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		n += len(sh.jobs)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// SamplesIngested returns the total number of successfully ingested samples.
+func (m *Monitor) SamplesIngested() uint64 { return m.samples.Load() }
+
+// Classifications returns the total number of per-job classifications
+// produced by ticks so far.
+func (m *Monitor) Classifications() uint64 { return m.classed.Load() }
+
+// Ticks returns the number of completed ticks.
+func (m *Monitor) Ticks() uint64 { return m.ticks.Load() }

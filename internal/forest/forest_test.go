@@ -189,3 +189,36 @@ func TestNumTreesConfigDefaults(t *testing.T) {
 		t.Errorf("default ensemble size %d, want 100", f.NumTrees())
 	}
 }
+
+// TestPredictProbaBatchBitIdentical pins the fleet serving invariant: the
+// worker-pool batched path must return exactly the probabilities the serial
+// path does, for any worker count.
+func TestPredictProbaBatchBitIdentical(t *testing.T) {
+	x, y := gaussianBlobs(300, 4, 0.9, 11)
+	for _, workers := range []int{0, 1, 3, 16} {
+		f := New(Config{NumTrees: 25, Seed: 9, Bootstrap: true, Workers: workers})
+		if err := f.Fit(x, y, 4); err != nil {
+			t.Fatal(err)
+		}
+		want, err := f.PredictProba(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := f.PredictProbaBatch(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("workers=%d: element %d differs: batched %v vs serial %v",
+					workers, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestPredictProbaBatchUnfitted(t *testing.T) {
+	if _, err := New(Config{}).PredictProbaBatch(mat.New(1, 2)); err == nil {
+		t.Error("unfitted batch predict should fail")
+	}
+}

@@ -1,0 +1,47 @@
+package mat
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ParallelRowBlocks splits rows into up to workers contiguous blocks
+// (workers ≤ 0 selects GOMAXPROCS, and never more blocks than rows) and
+// runs fn on each block concurrently, returning the first error. With a
+// single block fn runs inline on the caller's goroutine. It is the shared
+// scaffolding of the model packages' batched predict paths.
+func ParallelRowBlocks(rows, workers int, fn func(lo, hi int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		return fn(0, rows)
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	block := (rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*block, (w+1)*block
+		if hi > rows {
+			hi = rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = fn(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

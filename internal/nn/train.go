@@ -3,6 +3,7 @@ package nn
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/mat"
@@ -219,28 +220,63 @@ func Evaluate(model SequenceClassifier, x SeqSource, y []int, idx []int, batchSi
 	if len(idx) == 0 {
 		return 0, errors.New("nn: no trials to evaluate")
 	}
-	if batchSize <= 0 {
-		batchSize = 32
+	pred, err := Predict(model, x, idx, batchSize)
+	if err != nil {
+		return 0, err
 	}
 	correct := 0
-	for start := 0; start < len(idx); start += batchSize {
-		end := start + batchSize
-		if end > len(idx) {
-			end = len(idx)
-		}
-		ids := idx[start:end]
-		seq := MakeBatch(x, ids)
-		logProbs := model.Forward(seq, false)
-		for k, i := range ids {
-			if mat.ArgMax(logProbs.Row(k)) == y[i] {
-				correct++
-			}
+	for k, i := range idx {
+		if pred[k] == y[i] {
+			correct++
 		}
 	}
 	return float64(correct) / float64(len(idx)), nil
 }
 
-// Predict labels the given trials.
+// PredictProbaBatch returns per-class probabilities for the given trials
+// (all trials when idx is nil), one row per trial. It is the sequence-model
+// counterpart of the forest/xgb batched predict paths: trials are forwarded
+// through the network a whole batch at a time — one Forward per batch rather
+// than per trial — and the head's log-softmax output is exponentiated.
+func PredictProbaBatch(model SequenceClassifier, x SeqSource, idx []int, batchSize int) (*mat.Matrix, error) {
+	n, _, _ := x.Dims()
+	if idx == nil {
+		idx = make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	if len(idx) == 0 {
+		return nil, errors.New("nn: no trials to predict")
+	}
+	if batchSize <= 0 {
+		batchSize = 32
+	}
+	var out *mat.Matrix
+	for start := 0; start < len(idx); start += batchSize {
+		end := start + batchSize
+		if end > len(idx) {
+			end = len(idx)
+		}
+		seq := MakeBatch(x, idx[start:end])
+		logProbs := model.Forward(seq, false)
+		if out == nil {
+			out = mat.New(len(idx), logProbs.Cols)
+		}
+		for k := 0; k < end-start; k++ {
+			src := logProbs.Row(k)
+			dst := out.Row(start + k)
+			for c, v := range src {
+				dst[c] = math.Exp(v)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Predict labels the given trials (all trials when idx is nil). Labels are
+// the argmax of PredictProbaBatch's rows — exp is monotone, so this equals
+// the argmax over the head's log-probabilities.
 func Predict(model SequenceClassifier, x SeqSource, idx []int, batchSize int) ([]int, error) {
 	n, _, _ := x.Dims()
 	if idx == nil {
@@ -249,21 +285,16 @@ func Predict(model SequenceClassifier, x SeqSource, idx []int, batchSize int) ([
 			idx[i] = i
 		}
 	}
-	if batchSize <= 0 {
-		batchSize = 32
+	if len(idx) == 0 {
+		return []int{}, nil
 	}
-	out := make([]int, len(idx))
-	for start := 0; start < len(idx); start += batchSize {
-		end := start + batchSize
-		if end > len(idx) {
-			end = len(idx)
-		}
-		ids := idx[start:end]
-		seq := MakeBatch(x, ids)
-		logProbs := model.Forward(seq, false)
-		for k := range ids {
-			out[start+k] = mat.ArgMax(logProbs.Row(k))
-		}
+	probs, err := PredictProbaBatch(model, x, idx, batchSize)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, probs.Rows)
+	for i := range out {
+		out[i] = mat.ArgMax(probs.Row(i))
 	}
 	return out, nil
 }

@@ -237,3 +237,59 @@ func TestTrainDeterminism(t *testing.T) {
 		t.Error("training is not deterministic for a fixed seed")
 	}
 }
+
+// TestPredictProbaBatchMatchesPredict checks the batched probability path
+// agrees with Predict's argmax labels and yields normalised rows, across
+// batch sizes (including one that does not divide the trial count).
+func TestPredictProbaBatchMatchesPredict(t *testing.T) {
+	s, _ := makeSynth(30, 12, 2, 3, 9)
+	model, err := NewBiLSTMClassifier(2, 8, 12, 3, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := Predict(model, s, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range []int{7, 30} {
+		probs, err := PredictProbaBatch(model, s, nil, bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if probs.Rows != 30 || probs.Cols != 3 {
+			t.Fatalf("probs shape %dx%d", probs.Rows, probs.Cols)
+		}
+		for i := 0; i < probs.Rows; i++ {
+			row := probs.Row(i)
+			var sum float64
+			for _, v := range row {
+				if v < 0 {
+					t.Fatalf("row %d has negative probability %v", i, v)
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("row %d sums to %v", i, sum)
+			}
+		}
+	}
+	// Dropout is inactive at inference, so argmax must match Predict.
+	probs, err := PredictProbaBatch(model, s, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range labels {
+		got, best := 0, probs.At(i, 0)
+		for c := 1; c < probs.Cols; c++ {
+			if probs.At(i, c) > best {
+				got, best = c, probs.At(i, c)
+			}
+		}
+		if got != want {
+			t.Fatalf("trial %d: batched argmax %d vs Predict %d", i, got, want)
+		}
+	}
+	if _, err := PredictProbaBatch(model, s, []int{}, 8); err == nil {
+		t.Error("empty index set should fail")
+	}
+}

@@ -101,16 +101,32 @@ func (w *WindowedEmbedder) Ready() bool { return w.count >= w.window }
 // Features returns the current covariance embedding (1×C(C+1)/2 matrix),
 // or an error before the first full window.
 func (w *WindowedEmbedder) Features() (*mat.Matrix, error) {
-	if !w.Ready() {
-		return nil, fmt.Errorf("stream: only %d of %d samples seen", w.count, w.window)
-	}
 	out := mat.New(1, len(w.sums))
-	inv := 1.0 / float64(w.window-1)
-	for i, s := range w.sums {
-		out.Data[i] = s * inv
+	if err := w.FeaturesInto(out.Data); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
+
+// FeaturesInto writes the current covariance embedding into dst, which must
+// have length FeatureDim. It is the allocation-free variant of Features used
+// by batched serving paths that assemble many jobs' features into one matrix.
+func (w *WindowedEmbedder) FeaturesInto(dst []float64) error {
+	if !w.Ready() {
+		return fmt.Errorf("stream: only %d of %d samples seen", w.count, w.window)
+	}
+	if len(dst) != len(w.sums) {
+		return fmt.Errorf("stream: destination length %d, want %d", len(dst), len(w.sums))
+	}
+	inv := 1.0 / float64(w.window-1)
+	for i, s := range w.sums {
+		dst[i] = s * inv
+	}
+	return nil
+}
+
+// FeatureDim returns the length of the embedding Features produces.
+func (w *WindowedEmbedder) FeatureDim() int { return len(w.sums) }
 
 // Monitor couples an embedder with a trained classifier.
 type Monitor struct {

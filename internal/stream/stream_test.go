@@ -148,3 +148,100 @@ func TestMonitorClassify(t *testing.T) {
 		t.Errorf("prediction = %+v", pred)
 	}
 }
+
+// TestEvictionSumsMatchRecomputation targets the drift-prone eviction path
+// in Push: once the ring wraps, every new sample first subtracts the evicted
+// sample's products from the running sums. The table drives several window
+// shapes and stream lengths past multiple complete wraparounds and checks
+// the incrementally maintained sums against a from-scratch recomputation
+// over the ring contents after every push.
+func TestEvictionSumsMatchRecomputation(t *testing.T) {
+	cases := []struct {
+		name            string
+		window, sensors int
+		pushes          int
+		scale, offset   float64
+	}{
+		{"small-3-wraps", 4, 2, 4 * 3, 1, 0},
+		{"challenge-shape-2-wraps", 9, 7, 9 * 2, 2, 5},
+		{"tall-window-many-wraps", 16, 3, 16 * 6, 3, -2},
+		{"two-sensors-misaligned", 5, 2, 5*4 + 3, 0.5, 100},
+		{"shifted-values-cancellation", 6, 4, 6 * 5, 20, 60},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			scaler := fitScaler(t, tc.window, tc.sensors, 11)
+			w, err := NewWindowedEmbedder(tc.window, tc.sensors, scaler)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(12))
+			for step := 0; step < tc.pushes; step++ {
+				sample := make([]float64, tc.sensors)
+				for c := range sample {
+					sample[c] = rng.NormFloat64()*tc.scale + tc.offset
+				}
+				if err := w.Push(sample); err != nil {
+					t.Fatal(err)
+				}
+				if w.count < tc.window {
+					continue
+				}
+				// From-scratch reference: recompute Σ zₐ·z_b over the full
+				// ring (every resident standardised sample).
+				want := make([]float64, len(w.sums))
+				for row := 0; row < tc.window; row++ {
+					z := w.ring[row*tc.sensors : (row+1)*tc.sensors]
+					k := 0
+					for a := 0; a < tc.sensors; a++ {
+						for b := a; b < tc.sensors; b++ {
+							want[k] += z[a] * z[b]
+							k++
+						}
+					}
+				}
+				for k := range want {
+					if math.Abs(w.sums[k]-want[k]) > 1e-9 {
+						t.Fatalf("push %d sum %d: incremental %v vs recomputed %v (drift %v)",
+							step, k, w.sums[k], want[k], w.sums[k]-want[k])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestFeaturesIntoValidation(t *testing.T) {
+	scaler := fitScaler(t, 4, 2, 6)
+	w, err := NewWindowedEmbedder(4, 2, scaler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.FeatureDim() != 3 {
+		t.Fatalf("feature dim %d, want 3", w.FeatureDim())
+	}
+	if err := w.FeaturesInto(make([]float64, 3)); err == nil {
+		t.Error("features before full window should fail")
+	}
+	for i := 0; i < 4; i++ {
+		if err := w.Push([]float64{1, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.FeaturesInto(make([]float64, 2)); err == nil {
+		t.Error("short destination should fail")
+	}
+	dst := make([]float64, 3)
+	if err := w.FeaturesInto(dst); err != nil {
+		t.Fatal(err)
+	}
+	feats, err := w.Features()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != feats.Data[i] {
+			t.Fatalf("FeaturesInto[%d] = %v, Features = %v", i, dst[i], feats.Data[i])
+		}
+	}
+}

@@ -34,6 +34,9 @@ type Config struct {
 	MinChildWeight float64
 	// Subsample is the per-tree row sampling fraction (1 = all rows).
 	Subsample float64
+	// Workers bounds batched-prediction parallelism (0 = GOMAXPROCS),
+	// mirroring forest.Config.Workers.
+	Workers int
 	// Seed drives subsampling.
 	Seed int64
 }
@@ -332,23 +335,35 @@ func (c *Classifier) grow(t *regTree, x *mat.Matrix, g, h []float64, rows []int,
 	return id
 }
 
-// PredictScores returns raw per-class boosting scores.
-func (c *Classifier) PredictScores(x *mat.Matrix) (*mat.Matrix, error) {
+// scoreRowInto accumulates the boosted per-class scores for one feature row
+// into dst. Both the serial and batched predict paths go through here, so
+// their per-row results are bit-identical.
+func (c *Classifier) scoreRowInto(row, dst []float64) {
+	for _, round := range c.trees {
+		for k, tr := range round {
+			dst[k] += c.cfg.LearningRate * tr.predictRow(row)
+		}
+	}
+}
+
+func (c *Classifier) checkPredictable(x *mat.Matrix) error {
 	if c.trees == nil {
-		return nil, errors.New("xgb: not fitted")
+		return errors.New("xgb: not fitted")
 	}
 	if x.Cols != c.numFeats {
-		return nil, fmt.Errorf("xgb: %d features, fitted on %d", x.Cols, c.numFeats)
+		return fmt.Errorf("xgb: %d features, fitted on %d", x.Cols, c.numFeats)
+	}
+	return nil
+}
+
+// PredictScores returns raw per-class boosting scores.
+func (c *Classifier) PredictScores(x *mat.Matrix) (*mat.Matrix, error) {
+	if err := c.checkPredictable(x); err != nil {
+		return nil, err
 	}
 	out := mat.New(x.Rows, c.numClasses)
 	for i := 0; i < x.Rows; i++ {
-		row := x.Row(i)
-		dst := out.Row(i)
-		for _, round := range c.trees {
-			for k, tr := range round {
-				dst[k] += c.cfg.LearningRate * tr.predictRow(row)
-			}
-		}
+		c.scoreRowInto(x.Row(i), out.Row(i))
 	}
 	return out, nil
 }
@@ -364,6 +379,44 @@ func (c *Classifier) PredictProba(x *mat.Matrix) (*mat.Matrix, error) {
 		softmaxInto(row, append([]float64(nil), row...))
 	}
 	return scores, nil
+}
+
+// probaBlock scores rows [lo, hi) with tree-outer iteration — each
+// regression tree's node array stays hot in cache while it sweeps the whole
+// block — then softmaxes every row. Each score accumulator still receives
+// its round contributions in boosting order, exactly as scoreRowInto, so
+// results are bit-identical to the serial path.
+func (c *Classifier) probaBlock(x, out *mat.Matrix, lo, hi int) {
+	for _, round := range c.trees {
+		for k, tr := range round {
+			for i := lo; i < hi; i++ {
+				out.Row(i)[k] += c.cfg.LearningRate * tr.predictRow(x.Row(i))
+			}
+		}
+	}
+	scratch := make([]float64, c.numClasses)
+	for i := lo; i < hi; i++ {
+		dst := out.Row(i)
+		copy(scratch, dst)
+		softmaxInto(dst, scratch)
+	}
+}
+
+// PredictProbaBatch is the serving hot path for fleet-scale batched
+// inference: one call scores the whole matrix, splitting rows into
+// contiguous blocks over a bounded worker pool (cfg.Workers, 0 = GOMAXPROCS,
+// mirroring forest.Config.Workers) and sweeping each block tree by tree.
+// Results are bit-identical to PredictProba.
+func (c *Classifier) PredictProbaBatch(x *mat.Matrix) (*mat.Matrix, error) {
+	if err := c.checkPredictable(x); err != nil {
+		return nil, err
+	}
+	out := mat.New(x.Rows, c.numClasses)
+	_ = mat.ParallelRowBlocks(x.Rows, c.cfg.Workers, func(lo, hi int) error {
+		c.probaBlock(x, out, lo, hi)
+		return nil
+	})
+	return out, nil
 }
 
 // Predict labels rows by the highest boosting score.

@@ -273,3 +273,44 @@ func TestXGBDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestXGBPredictProbaBatchBitIdentical pins the fleet serving invariant: the
+// worker-pool batched path must return exactly the probabilities the serial
+// path does, for any worker count.
+func TestXGBPredictProbaBatchBitIdentical(t *testing.T) {
+	x, y := blobs(250, 3, 0.9, 13)
+	for _, workers := range []int{0, 1, 4, 32} {
+		c := New(Config{NumRounds: 12, MaxDepth: 4, Workers: workers, Seed: 2})
+		if err := c.Fit(x, y, 3, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		want, err := c.PredictProba(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.PredictProbaBatch(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("workers=%d: element %d differs: batched %v vs serial %v",
+					workers, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestXGBPredictProbaBatchErrors(t *testing.T) {
+	if _, err := New(Config{}).PredictProbaBatch(mat.New(1, 2)); err == nil {
+		t.Error("unfitted batch predict should fail")
+	}
+	x, y := blobs(60, 2, 0.5, 14)
+	c := New(Config{NumRounds: 3})
+	if err := c.Fit(x, y, 2, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PredictProbaBatch(mat.New(4, 5)); err == nil {
+		t.Error("feature-count mismatch should fail")
+	}
+}

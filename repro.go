@@ -10,6 +10,8 @@
 //   - TrainRFCov: the paper's best baseline (random forest on covariance
 //     features), fitted and evaluated in one call.
 //   - RunExperiment: regenerate a paper table by name.
+//   - NewFleet: a fleet monitor serving the trained model over live
+//     telemetry from many concurrent jobs (cmd/wccserve drives it).
 //
 // For anything beyond these — other baselines, custom grids, npz interop —
 // import the internal packages directly; they are documented and tested as
@@ -21,8 +23,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/fleet"
 	"repro/internal/forest"
 	"repro/internal/metrics"
+	"repro/internal/preprocess"
 	"repro/internal/telemetry"
 )
 
@@ -60,6 +64,10 @@ type RFCovResult struct {
 	Confusion  *metrics.ConfusionMatrix
 	Model      *forest.Classifier
 	ClassNames []string
+	// Scaler holds the training-set statistics the features were
+	// standardised with; serving paths reuse it so live windows are
+	// preprocessed exactly as the model was trained.
+	Scaler *preprocess.StandardScaler
 }
 
 // TrainRFCov runs the paper's strongest baseline end to end: standardise,
@@ -89,7 +97,25 @@ func TrainRFCov(ds *Dataset, trees int, seed int64) (*RFCovResult, error) {
 	for _, c := range telemetry.AllClasses() {
 		names[int(c)] = c.Name()
 	}
-	return &RFCovResult{Accuracy: acc, Confusion: cm, Model: f, ClassNames: names}, nil
+	return &RFCovResult{Accuracy: acc, Confusion: cm, Model: f, ClassNames: names, Scaler: fp.Scaler}, nil
+}
+
+// NewFleet builds a fleet monitor that serves the trained model over live
+// telemetry shaped like the dataset's windows (540×7 for the challenge
+// datasets): jobs stream samples through Ingest from any number of
+// goroutines, and each Tick classifies every changed window in one batched
+// model call. The live windows are standardised with the very scaler the
+// offline pipeline fitted (res.Scaler), so fleet predictions match what
+// TrainRFCov's model would say about the same window offline. shards ≤ 0
+// selects the default shard count.
+func NewFleet(ds *Dataset, res *RFCovResult, shards int) (*fleet.Monitor, error) {
+	return fleet.New(fleet.Config{
+		Window:  ds.Challenge.Train.X.T,
+		Sensors: ds.Challenge.Train.X.C,
+		Scaler:  res.Scaler,
+		Model:   res.Model,
+		Shards:  shards,
+	})
 }
 
 // RunExperiment regenerates a paper table by name ("1", "2", "4", "5", "6",

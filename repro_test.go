@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/telemetry"
 )
 
 func TestGenerateDatasetErrors(t *testing.T) {
@@ -64,5 +65,64 @@ func TestRunExperimentMetaTables(t *testing.T) {
 	}
 	if _, err := repro.RunExperiment("1", "warp"); err == nil {
 		t.Error("unknown preset should fail")
+	}
+}
+
+func TestFleetFacade(t *testing.T) {
+	ds, err := repro.GenerateDataset("60-middle-1", 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := repro.TrainRFCov(ds, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := repro.NewFleet(ds, res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stream a handful of live jobs through the fleet via the multi-job
+	// replay source and check each gets a well-formed prediction.
+	var live []*telemetry.Job
+	for _, j := range ds.Sim.Jobs() {
+		if j.Duration >= 62 {
+			live = append(live, j)
+		}
+		if len(live) == 4 {
+			break
+		}
+	}
+	if len(live) == 0 {
+		t.Fatal("no streamable jobs at this scale")
+	}
+	r, err := telemetry.NewReplay(live, 0, 0, 61.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		s, ok := r.Next()
+		if !ok {
+			break
+		}
+		if err := m.Ingest(s.JobID, s.Values); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := m.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Classified != len(live) {
+		t.Fatalf("classified %d jobs, want %d", stats.Classified, len(live))
+	}
+	for _, j := range live {
+		pred, ok := m.Prediction(j.ID)
+		if !ok {
+			t.Fatalf("job %d: no prediction", j.ID)
+		}
+		if len(pred.Probs) != len(res.ClassNames) || pred.Class < 0 || pred.Class >= len(res.ClassNames) {
+			t.Fatalf("job %d: malformed prediction %+v", j.ID, pred)
+		}
 	}
 }
