@@ -1,11 +1,19 @@
-// Command wccinfo inspects a challenge .npz file: member arrays, shapes,
-// dtypes, label distribution, and basic sensor statistics — useful both for
-// archives generated by wccgen and for the real challenge downloads.
+// Command wccinfo inspects this project's on-disk formats:
+//
+//   - challenge .npz archives (member arrays, shapes, dtypes, label
+//     distribution, basic sensor statistics) — both wccgen output and the
+//     real challenge downloads;
+//   - .wcc model artifacts written by wcctrain -o / repro.SaveModel (format
+//     version, model kind, classes, training provenance, section table).
+//
+// Artifacts are recognised by magic sniffing, not extension, so renamed
+// files still inspect correctly.
 //
 // Usage:
 //
 //	wccinfo data/60-middle-1.npz
 //	wccinfo -stats data/60-middle-1.npz
+//	wccinfo rf-cov.wcc
 package main
 
 import (
@@ -13,16 +21,19 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
+	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/npz"
 	"repro/internal/telemetry"
 )
 
 func main() {
-	stats := flag.Bool("stats", false, "print per-sensor statistics of X_train")
+	stats := flag.Bool("stats", false, "print per-sensor statistics of X_train (.npz only)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: wccinfo [-stats] <file.npz>")
+		fmt.Fprintln(os.Stderr, "usage: wccinfo [-stats] <file.npz | file.wcc>")
 		os.Exit(2)
 	}
 	if err := run(flag.Arg(0), *stats); err != nil {
@@ -32,6 +43,9 @@ func main() {
 }
 
 func run(path string, stats bool) error {
+	if artifact.Sniff(path) {
+		return runArtifact(path)
+	}
 	ar, err := npz.ReadFile(path)
 	if err != nil {
 		return err
@@ -117,6 +131,46 @@ func run(path string, stats bool) error {
 			fmt.Printf("    %-24s mean=%10.2f std²=%12.2f min=%10.2f max=%10.2f\n",
 				name, mean, std, min, max)
 		}
+	}
+	return nil
+}
+
+// runArtifact prints a .wcc model artifact's metadata and section table
+// without decoding the model payload.
+func runArtifact(path string) error {
+	info, err := artifact.ReadInfo(path)
+	if err != nil {
+		return err
+	}
+	m := info.Meta
+	fmt.Printf("%s: model artifact (format v%d)\n", path, info.FormatVersion)
+	fmt.Printf("  kind:      %s\n", m.Kind)
+	if m.Features != "" {
+		fmt.Printf("  features:  %s\n", m.Features)
+	}
+	if m.Window > 0 && m.Sensors > 0 {
+		fmt.Printf("  window:    %dx%d\n", m.Window, m.Sensors)
+	}
+	if m.Dataset != "" {
+		fmt.Printf("  trained:   %s (scale %.2f, seed %d)\n", m.Dataset, m.Scale, m.Seed)
+	}
+	if m.Accuracy > 0 {
+		fmt.Printf("  accuracy:  %.2f%% on the held-out test split\n", m.Accuracy*100)
+	}
+	if m.CreatedUnix > 0 {
+		fmt.Printf("  created:   %s", time.Unix(m.CreatedUnix, 0).UTC().Format(time.RFC3339))
+		if m.Tool != "" {
+			fmt.Printf(" by %s", m.Tool)
+		}
+		fmt.Println()
+	}
+	if len(m.ClassNames) > 0 {
+		fmt.Printf("  classes:   %d (%s, ...)\n", len(m.ClassNames),
+			strings.Join(m.ClassNames[:min(4, len(m.ClassNames))], ", "))
+	}
+	fmt.Println("  sections:")
+	for _, s := range info.Sections {
+		fmt.Printf("    %-8s %8d bytes  crc32 %08x\n", s.Name, s.Length, s.CRC)
 	}
 	return nil
 }

@@ -1,13 +1,23 @@
-// Command wccserve demonstrates the serving path: it trains the paper's
-// best baseline offline, then replays live telemetry for a configurable
-// number of concurrent jobs through the fleet monitor and reports serving
-// throughput — samples/sec ingested, classifications/sec produced by the
-// batched inference ticks, and tick latency percentiles.
+// Command wccserve demonstrates the serving path: it obtains the paper's
+// best baseline — either trained offline at startup, or loaded in
+// milliseconds from a .wcc artifact written by wcctrain -o / repro.SaveModel
+// — then replays live telemetry for a configurable number of concurrent
+// jobs through the fleet monitor and reports serving throughput —
+// samples/sec ingested, classifications/sec produced by the batched
+// inference ticks, and tick latency percentiles.
 //
 // Usage:
 //
 //	wccserve -jobs 256 -seconds 75
 //	wccserve -jobs 64 -scale 0.05 -trees 50 -workers 8 -tick 10ms
+//	wccserve -model rf-cov.wcc -jobs 256 -seconds 75
+//
+// With -model no training happens: the artifact supplies the classifier,
+// the scaler, the window shape, and the simulation provenance for the
+// replay. While serving, the artifact path is polled (-model-poll) and a
+// changed file — e.g. a freshly retrained model atomically renamed into
+// place — is hot-swapped into the live fleet between inference ticks with
+// zero downtime.
 //
 // When -jobs exceeds the simulated population of sufficiently long jobs,
 // telemetry series are fanned out to multiple fleet job IDs, so arbitrarily
@@ -25,6 +35,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/fleet"
 	"repro/internal/telemetry"
 )
 
@@ -38,74 +49,192 @@ func main() {
 	shards := flag.Int("shards", 0, "fleet registry shards (0 = default)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent ingest goroutines")
 	tick := flag.Duration("tick", 10*time.Millisecond, "batched inference interval")
+	model := flag.String("model", "", "serve this .wcc artifact instead of training at startup")
+	modelPoll := flag.Duration("model-poll", 2*time.Second, "with -model: poll interval for hot-swapping a changed artifact (0 disables)")
 	flag.Parse()
 
-	if err := run(*jobs, *scale, *seed, *trees, *start, *seconds, *shards, *workers, *tick); err != nil {
+	if err := run(config{
+		jobs: *jobs, scale: *scale, seed: *seed, trees: *trees,
+		start: *start, seconds: *seconds, shards: *shards, workers: *workers,
+		tick: *tick, model: *model, modelPoll: *modelPoll,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "wccserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(jobs int, scale float64, seed int64, trees int, start, seconds float64, shards, workers int, tick time.Duration) error {
-	if jobs < 1 {
-		return fmt.Errorf("need at least one job, got %d", jobs)
-	}
-	if workers < 1 {
-		workers = 1
+type config struct {
+	jobs           int
+	scale          float64
+	seed           int64
+	trees          int
+	start, seconds float64
+	shards         int
+	workers        int
+	tick           time.Duration
+	model          string
+	modelPoll      time.Duration
+}
+
+// acquireModel produces the serving monitor plus the simulator and window
+// shape the replay needs — by training offline (the original path) or by
+// loading an artifact (milliseconds to first classification).
+func acquireModel(c config) (*fleet.Monitor, *repro.LoadedModel, *telemetry.Simulator, int, int, error) {
+	if c.model == "" {
+		fmt.Printf("offline phase: training RF-Cov (%d trees) on 60-middle-1 at scale %.2f...\n", c.trees, c.scale)
+		ds, err := repro.GenerateDataset("60-middle-1", c.scale, c.seed)
+		if err != nil {
+			return nil, nil, nil, 0, 0, err
+		}
+		res, err := repro.TrainRFCov(ds, c.trees, c.seed)
+		if err != nil {
+			return nil, nil, nil, 0, 0, err
+		}
+		fmt.Printf("  offline test accuracy: %.2f%%\n\n", res.Accuracy*100)
+		monitor, err := repro.NewFleet(ds, res, c.shards)
+		if err != nil {
+			return nil, nil, nil, 0, 0, err
+		}
+		return monitor, nil, ds.Sim, ds.Challenge.Train.X.T, ds.Challenge.Train.X.C, nil
 	}
 
-	fmt.Printf("offline phase: training RF-Cov (%d trees) on 60-middle-1 at scale %.2f...\n", trees, scale)
-	ds, err := repro.GenerateDataset("60-middle-1", scale, seed)
+	t0 := time.Now()
+	lm, err := repro.LoadModel(c.model)
+	if err != nil {
+		return nil, nil, nil, 0, 0, err
+	}
+	meta := lm.Artifact.Meta
+	fmt.Printf("loaded %s artifact %s in %s (dataset %s, scale %.2f, seed %d, offline accuracy %.2f%%)\n\n",
+		meta.Kind, c.model, time.Since(t0).Round(time.Millisecond), meta.Dataset, meta.Scale, meta.Seed, meta.Accuracy*100)
+
+	// Replay telemetry from the training provenance so live windows come
+	// from the distribution the model saw; flags fill any gaps in older
+	// artifacts.
+	simScale, simSeed := meta.Scale, meta.Seed
+	if simScale <= 0 {
+		simScale = c.scale
+	}
+	if simSeed == 0 {
+		simSeed = c.seed
+	}
+	sim, err := telemetry.NewSimulator(telemetry.Config{Seed: simSeed, Scale: simScale, GapRate: 1})
+	if err != nil {
+		return nil, nil, nil, 0, 0, err
+	}
+	monitor, err := lm.NewFleet(c.shards)
+	if err != nil {
+		return nil, nil, nil, 0, 0, err
+	}
+	return monitor, lm, sim, meta.Window, meta.Sensors, nil
+}
+
+// watchModel polls the artifact path and hot-swaps a changed model into the
+// monitor. The old scaler must match the new one bit for bit — per-job
+// window state survives the swap, so a model trained under different
+// preprocessing statistics is rejected.
+func watchModel(c config, monitor *fleet.Monitor, lm *repro.LoadedModel, stop <-chan struct{}, swapped *uint64) {
+	var lastMod time.Time
+	var lastSize int64
+	if st, err := os.Stat(c.model); err == nil {
+		lastMod, lastSize = st.ModTime(), st.Size()
+	}
+	ticker := time.NewTicker(c.modelPoll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			st, err := os.Stat(c.model)
+			if err != nil || (st.ModTime().Equal(lastMod) && st.Size() == lastSize) {
+				continue
+			}
+			lastMod, lastSize = st.ModTime(), st.Size()
+			next, err := repro.LoadModel(c.model)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wccserve: model reload skipped: %v\n", err)
+				continue
+			}
+			meta := next.Artifact.Meta
+			if meta.Window != lm.Artifact.Meta.Window || meta.Sensors != lm.Artifact.Meta.Sensors {
+				fmt.Fprintf(os.Stderr, "wccserve: model reload skipped: window shape %dx%d differs from serving %dx%d\n",
+					meta.Window, meta.Sensors, lm.Artifact.Meta.Window, lm.Artifact.Meta.Sensors)
+				continue
+			}
+			if !next.Artifact.Scaler.Equal(lm.Artifact.Scaler) {
+				fmt.Fprintln(os.Stderr, "wccserve: model reload skipped: scaler statistics differ from the serving scaler")
+				continue
+			}
+			if err := monitor.SwapClassifier(next.Classifier()); err != nil {
+				fmt.Fprintf(os.Stderr, "wccserve: model reload skipped: %v\n", err)
+				continue
+			}
+			*swapped++
+			fmt.Printf("hot-swapped %s model (accuracy %.2f%%) into the live fleet\n", meta.Kind, meta.Accuracy*100)
+		}
+	}
+}
+
+func run(c config) error {
+	if c.jobs < 1 {
+		return fmt.Errorf("need at least one job, got %d", c.jobs)
+	}
+	if c.workers < 1 {
+		c.workers = 1
+	}
+
+	monitor, lm, sim, window, sensors, err := acquireModel(c)
 	if err != nil {
 		return err
 	}
-	res, err := repro.TrainRFCov(ds, trees, seed)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("  offline test accuracy: %.2f%%\n\n", res.Accuracy*100)
 
-	window := ds.Challenge.Train.X.T
-	sensors := ds.Challenge.Train.X.C
 	windowSec := float64(window) * telemetry.GPUSampleDT
-	if seconds <= windowSec {
-		return fmt.Errorf("replay horizon %.0fs must exceed the %.0fs window", seconds, windowSec)
+	if c.seconds <= windowSec {
+		return fmt.Errorf("replay horizon %.0fs must exceed the %.0fs window", c.seconds, windowSec)
 	}
 
 	// Source jobs must run long enough to fill a window after the start
 	// offset; replaying mid-job keeps the live windows in the same regime as
 	// the 60-middle training windows.
 	var sources []*telemetry.Job
-	for _, j := range ds.Sim.Jobs() {
-		if j.Duration >= start+windowSec+1 {
+	for _, j := range sim.Jobs() {
+		if j.Duration >= c.start+windowSec+1 {
 			sources = append(sources, j)
 		}
 	}
 	if len(sources) == 0 {
-		return fmt.Errorf("no simulated job runs past start %.0fs + the %.0fs window", start, windowSec)
+		return fmt.Errorf("no simulated job runs past start %.0fs + the %.0fs window", c.start, windowSec)
 	}
-	if len(sources) > jobs {
-		sources = sources[:jobs]
+	if len(sources) > c.jobs {
+		sources = sources[:c.jobs]
 	}
-	replay, err := telemetry.NewReplay(sources, 0, start, start+seconds)
+	replay, err := telemetry.NewReplay(sources, 0, c.start, c.start+c.seconds)
 	if err != nil {
 		return err
 	}
 	// Fan each source series out to ceil(jobs/len) fleet IDs so any fleet
 	// size can be driven: fleet job k replays source k % len(sources).
 	fanout := make(map[int][]int, replay.NumJobs())
-	for k := 0; k < jobs; k++ {
+	for k := 0; k < c.jobs; k++ {
 		src := sources[k%len(sources)]
 		fanout[src.ID] = append(fanout[src.ID], k)
 	}
 
-	monitor, err := repro.NewFleet(ds, res, shards)
-	if err != nil {
-		return err
-	}
-
 	fmt.Printf("live phase: %d fleet jobs over %d distinct telemetry series, %dx%d windows, %d ingest workers, tick %s\n",
-		jobs, replay.NumJobs(), window, sensors, workers, tick)
+		c.jobs, replay.NumJobs(), window, sensors, c.workers, c.tick)
+
+	// Artifact watcher: hot-swap a refreshed model while serving.
+	var swapped uint64
+	stopWatch := make(chan struct{})
+	watchDone := make(chan struct{})
+	if lm != nil && c.modelPoll > 0 {
+		go func() {
+			defer close(watchDone)
+			watchModel(c, monitor, lm, stopWatch, &swapped)
+		}()
+	} else {
+		close(watchDone)
+	}
 
 	// Ingest pipeline: one reader drains the time-ordered replay and routes
 	// samples to workers by fleet job ID, preserving per-job sample order.
@@ -113,12 +242,12 @@ func run(jobs int, scale float64, seed int64, trees int, start, seconds float64,
 		id     int
 		values []float64
 	}
-	chans := make([]chan msg, workers)
+	chans := make([]chan msg, c.workers)
 	for i := range chans {
 		chans[i] = make(chan msg, 1024)
 	}
 	var ingestWG sync.WaitGroup
-	ingestErr := make(chan error, workers)
+	ingestErr := make(chan error, c.workers)
 	for i := range chans {
 		ingestWG.Add(1)
 		go func(ch chan msg) {
@@ -144,7 +273,7 @@ func run(jobs int, scale float64, seed int64, trees int, start, seconds float64,
 	tickDone := make(chan error, 1)
 	stopTicks := make(chan struct{})
 	go func() {
-		ticker := time.NewTicker(tick)
+		ticker := time.NewTicker(c.tick)
 		defer ticker.Stop()
 		for {
 			select {
@@ -169,7 +298,7 @@ func run(jobs int, scale float64, seed int64, trees int, start, seconds float64,
 			break
 		}
 		for _, id := range fanout[s.JobID] {
-			chans[id%workers] <- msg{id: id, values: s.Values}
+			chans[id%c.workers] <- msg{id: id, values: s.Values}
 		}
 	}
 	for _, ch := range chans {
@@ -192,6 +321,8 @@ func run(jobs int, scale float64, seed int64, trees int, start, seconds float64,
 	}
 	tickDurations = append(tickDurations, time.Since(t0))
 	elapsed := time.Since(wallStart)
+	close(stopWatch)
+	<-watchDone
 
 	ingested := monitor.SamplesIngested()
 	classed := monitor.Classifications()
@@ -201,10 +332,13 @@ func run(jobs int, scale float64, seed int64, trees int, start, seconds float64,
 		classed, float64(classed)/elapsed.Seconds(), monitor.Ticks())
 	fmt.Printf("  tick latency:       p50 %s  p95 %s  max %s\n",
 		percentile(tickDurations, 0.50), percentile(tickDurations, 0.95), percentile(tickDurations, 1.0))
+	if swapped > 0 {
+		fmt.Printf("  model hot-swaps:    %d\n", swapped)
+	}
 
 	// Live accuracy: the fleet's final belief per job against the truth.
 	correct, scored := 0, 0
-	for k := 0; k < jobs; k++ {
+	for k := 0; k < c.jobs; k++ {
 		pred, ok := monitor.Prediction(k)
 		if !ok {
 			continue
@@ -216,7 +350,7 @@ func run(jobs int, scale float64, seed int64, trees int, start, seconds float64,
 	}
 	if scored > 0 {
 		fmt.Printf("  live accuracy:      %.1f%% (%d/%d jobs classified)\n",
-			100*float64(correct)/float64(scored), scored, jobs)
+			100*float64(correct)/float64(scored), scored, c.jobs)
 	}
 	return nil
 }

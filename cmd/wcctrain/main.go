@@ -8,18 +8,28 @@
 //	wcctrain -model svm -features pca -pca-dim 64 -C 10
 //	wcctrain -model xgb -features cov -rounds 40 -gamma 0.5
 //	wcctrain -model lstm -hidden 32 -epochs 10 -stride 10
+//
+// With -o the fitted estimator is persisted as a versioned .wcc artifact
+// bundling the model, its preprocessing statistics (scaler, and PCA when
+// -features pca), and training provenance; wccserve -model serves it and
+// wccinfo inspects it:
+//
+//	wcctrain -model rf -features cov -trees 100 -o rf-cov.wcc
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/forest"
 	"repro/internal/metrics"
 	"repro/internal/nn"
+	"repro/internal/preprocess"
 	"repro/internal/svm"
 	"repro/internal/telemetry"
 	"repro/internal/xgb"
@@ -35,6 +45,7 @@ func main() {
 		maxTrain = flag.Int("max-train", 800, "training trials cap (0 = all)")
 		maxTest  = flag.Int("max-test", 400, "test trials cap (0 = all)")
 		report   = flag.Bool("report", false, "print the per-class report")
+		out      = flag.String("o", "", "write the fitted model as a .wcc artifact to this path")
 
 		pcaDim = flag.Int("pca-dim", 64, "PCA dimensions")
 		cVal   = flag.Float64("C", 1, "SVM regularisation")
@@ -52,7 +63,7 @@ func main() {
 
 	if err := run(opts{
 		model: *model, features: *features, dsName: *dsName, scale: *scale,
-		seed: *seed, maxTrain: *maxTrain, maxTest: *maxTest, report: *report,
+		seed: *seed, maxTrain: *maxTrain, maxTest: *maxTest, report: *report, out: *out,
 		pcaDim: *pcaDim, c: *cVal, trees: *trees, rounds: *rounds,
 		gamma: *gamma, lambda: *lambda, alpha: *alpha,
 		hidden: *hidden, epochs: *epochs, stride: *stride,
@@ -68,6 +79,7 @@ type opts struct {
 	seed                    int64
 	maxTrain, maxTest       int
 	report                  bool
+	out                     string
 	pcaDim, trees, rounds   int
 	c, gamma, lambda, alpha float64
 	hidden, epochs, stride  int
@@ -96,6 +108,13 @@ func run(o opts) error {
 	var pred []int
 	var testY []int
 
+	// Artifact ingredients, filled in by the model branches below.
+	var trained any
+	var scaler *preprocess.StandardScaler
+	var pca *preprocess.PCA
+	featuresKind := o.features
+	window, sensors := ch.Train.X.T, ch.Train.X.C
+
 	switch o.model {
 	case "rf", "svm", "linear-svm", "xgb":
 		var fp *core.FeaturePair
@@ -111,6 +130,8 @@ func run(o opts) error {
 			return err
 		}
 		testY = fp.TestY
+		scaler = fp.Scaler
+		pca = fp.PCA
 		switch o.model {
 		case "rf":
 			m := forest.New(forest.Config{NumTrees: o.trees, Bootstrap: true, Seed: o.seed})
@@ -120,6 +141,7 @@ func run(o opts) error {
 			if pred, err = m.Predict(fp.TestX); err != nil {
 				return err
 			}
+			trained = m
 		case "svm":
 			m := svm.New(svm.Config{C: o.c, Seed: o.seed})
 			if err := m.Fit(fp.TrainX, fp.TrainY); err != nil {
@@ -128,6 +150,7 @@ func run(o opts) error {
 			if pred, err = m.Predict(fp.TestX); err != nil {
 				return err
 			}
+			trained = m
 		case "linear-svm":
 			m := svm.NewLinear(svm.LinearConfig{C: o.c, Epochs: 100, Tol: 1e-4, Seed: o.seed})
 			if err := m.Fit(fp.TrainX, fp.TrainY, numClasses); err != nil {
@@ -136,6 +159,7 @@ func run(o opts) error {
 			if pred, err = m.Predict(fp.TestX); err != nil {
 				return err
 			}
+			trained = m
 		case "xgb":
 			m := xgb.New(xgb.Config{
 				NumRounds: o.rounds, LearningRate: 0.3, MaxDepth: 6,
@@ -148,6 +172,7 @@ func run(o opts) error {
 			if pred, err = m.Predict(fp.TestX); err != nil {
 				return err
 			}
+			trained = m
 			names := core.CovFeatureNames()
 			if o.features == "cov" {
 				fmt.Println("top-3 features by gain importance:")
@@ -161,6 +186,9 @@ func run(o opts) error {
 		trainT := ch.Train.X.Downsample(o.stride)
 		testT := ch.Test.X.Downsample(o.stride)
 		testY = ch.Test.Y
+		// Sequence models consume raw (downsampled) windows, no scaler/PCA.
+		featuresKind = "sequence"
+		window, sensors = trainT.T, trainT.C
 		var m nn.SequenceClassifier
 		switch o.model {
 		case "lstm":
@@ -185,6 +213,7 @@ func run(o opts) error {
 		if pred, err = nn.Predict(m, testT, nil, cfg.BatchSize); err != nil {
 			return err
 		}
+		trained = m
 
 	default:
 		return fmt.Errorf("unknown model %q", o.model)
@@ -195,6 +224,34 @@ func run(o opts) error {
 		return err
 	}
 	fmt.Printf("test accuracy: %.2f%%\n", acc*100)
+
+	if o.out != "" {
+		classNames := make([]string, numClasses)
+		for _, c := range telemetry.AllClasses() {
+			classNames[int(c)] = c.Name()
+		}
+		a := &artifact.Artifact{
+			Meta: artifact.Metadata{
+				ClassNames:  classNames,
+				Features:    featuresKind,
+				Window:      window,
+				Sensors:     sensors,
+				Dataset:     o.dsName,
+				Scale:       o.scale,
+				Seed:        o.seed,
+				Accuracy:    acc,
+				CreatedUnix: time.Now().Unix(),
+				Tool:        "wcctrain",
+			},
+			Scaler: scaler,
+			PCA:    pca,
+			Model:  trained,
+		}
+		if err := artifact.Save(o.out, a); err != nil {
+			return err
+		}
+		fmt.Printf("saved %s artifact to %s\n", a.Meta.Kind, o.out)
+	}
 
 	if o.report {
 		names := make([]string, numClasses)

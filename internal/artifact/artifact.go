@@ -1,0 +1,490 @@
+// Package artifact implements the versioned model-artifact store: a
+// self-describing binary container (.wcc) bundling a fitted estimator with
+// the preprocessing statistics it was trained under and provenance metadata,
+// so a datacenter can train offline once and serve the model continuously —
+// wcctrain -o writes artifacts, wccserve -model serves them, and
+// fleet.Monitor.SwapClassifier rolls a refreshed artifact into a live fleet
+// with zero downtime.
+//
+// # File layout (format version 1)
+//
+//	magic        8 bytes  89 57 43 43 0D 0A 1A 0A  ("\x89WCC\r\n\x1a\n")
+//	version      u32 LE   container format version
+//	sections     u32 LE   section count N
+//	table        N × { name (u64-len string), length u64, crc32 u32 }
+//	header crc   u32 LE   crc32 over version + sections + table bytes
+//	payloads     section payloads concatenated in table order
+//
+// The PNG-style magic detects text-mode mangling as well as foreign files.
+// Every section payload is covered by an IEEE CRC32 recorded in the table,
+// and the header/table bytes themselves by a trailing header CRC, so
+// truncation and bit corruption are detected before a model is trusted.
+// Sections with unknown names are skipped, giving minor-version forward
+// compatibility; a file whose container version is newer than this build is
+// rejected outright with a descriptive error.
+//
+// # Sections
+//
+//	meta    JSON-encoded Metadata (always present, always first)
+//	scaler  preprocess.StandardScaler wire encoding (optional)
+//	pca     preprocess.PCA wire encoding (optional)
+//	model   estimator wire encoding, dispatched on Metadata.Kind
+package artifact
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/forest"
+	"repro/internal/nn"
+	"repro/internal/preprocess"
+	"repro/internal/svm"
+	"repro/internal/wire"
+	"repro/internal/xgb"
+)
+
+// Magic identifies a .wcc artifact file.
+var Magic = [8]byte{0x89, 'W', 'C', 'C', '\r', '\n', 0x1a, '\n'}
+
+// FormatVersion is the container version this build writes and the newest it
+// reads.
+const FormatVersion = 1
+
+// Model kinds recorded in Metadata.Kind. Sequence models use the
+// nn.Kind* vocabulary ("bilstm", "cnnlstm", "convlstm").
+const (
+	KindForest    = "forest"
+	KindXGB       = "xgb"
+	KindSVM       = "svm"
+	KindLinearSVM = "linear-svm"
+)
+
+// Section names.
+const (
+	sectionMeta   = "meta"
+	sectionScaler = "scaler"
+	sectionPCA    = "pca"
+	sectionModel  = "model"
+)
+
+// maxSections bounds the section table so corrupted counts fail fast.
+const maxSections = 64
+
+// maxSectionLen bounds one section payload (1 GiB).
+const maxSectionLen = 1 << 30
+
+// Metadata is the artifact's provenance record: what the model is, what it
+// was trained on, and the accuracy observed on the held-out test split.
+type Metadata struct {
+	// Kind identifies the estimator ("forest", "xgb", "svm", "linear-svm",
+	// "bilstm", "cnnlstm", "convlstm") and selects the model-section codec.
+	Kind string `json:"kind"`
+	// ClassNames maps class indices to the paper's workload names.
+	ClassNames []string `json:"class_names,omitempty"`
+	// Features names the feature pipeline ("cov", "pca", "sequence").
+	Features string `json:"features,omitempty"`
+	// Window and Sensors give the telemetry window shape the model consumes
+	// (540×7 for the challenge datasets).
+	Window  int `json:"window,omitempty"`
+	Sensors int `json:"sensors,omitempty"`
+	// Dataset, Scale and Seed record the training provenance: the Table IV
+	// dataset spec name, the simulation scale, and the generation seed.
+	Dataset string  `json:"dataset,omitempty"`
+	Scale   float64 `json:"scale,omitempty"`
+	Seed    int64   `json:"seed,omitempty"`
+	// Accuracy is the held-out test accuracy measured at training time.
+	Accuracy float64 `json:"accuracy,omitempty"`
+	// CreatedUnix is the artifact creation time (seconds since epoch).
+	CreatedUnix int64 `json:"created_unix,omitempty"`
+	// Tool names the producer (e.g. "wcctrain").
+	Tool string `json:"tool,omitempty"`
+}
+
+// Artifact is a decoded model bundle.
+type Artifact struct {
+	Meta   Metadata
+	Scaler *preprocess.StandardScaler // nil when the model has no scaler
+	PCA    *preprocess.PCA            // nil unless Features == "pca"
+	Model  any                        // *forest.Classifier, *xgb.Classifier, *svm.Classifier, *svm.LinearClassifier, or nn.SequenceClassifier
+}
+
+// ModelKind infers the Metadata.Kind string for a model value.
+func ModelKind(model any) (string, error) {
+	switch m := model.(type) {
+	case *forest.Classifier:
+		return KindForest, nil
+	case *xgb.Classifier:
+		return KindXGB, nil
+	case *svm.Classifier:
+		return KindSVM, nil
+	case *svm.LinearClassifier:
+		return KindLinearSVM, nil
+	case nn.SequenceClassifier:
+		return nn.ModelKind(m)
+	default:
+		return "", fmt.Errorf("artifact: unsupported model type %T", model)
+	}
+}
+
+func encodeModelPayload(model any) ([]byte, error) {
+	var buf bytes.Buffer
+	var err error
+	switch m := model.(type) {
+	case *forest.Classifier:
+		err = m.Encode(&buf)
+	case *xgb.Classifier:
+		err = m.Encode(&buf)
+	case *svm.Classifier:
+		err = m.Encode(&buf)
+	case *svm.LinearClassifier:
+		err = m.Encode(&buf)
+	case nn.SequenceClassifier:
+		err = nn.EncodeModel(&buf, m)
+	default:
+		err = fmt.Errorf("artifact: unsupported model type %T", model)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeModelPayload(kind string, payload []byte) (any, error) {
+	r := bytes.NewReader(payload)
+	switch kind {
+	case KindForest:
+		return forest.Decode(r)
+	case KindXGB:
+		return xgb.Decode(r)
+	case KindSVM:
+		return svm.Decode(r)
+	case KindLinearSVM:
+		return svm.DecodeLinear(r)
+	case nn.KindBiLSTM, nn.KindCNNLSTM, nn.KindConvLSTM:
+		m, err := nn.DecodeModel(r)
+		if err != nil {
+			return nil, err
+		}
+		if k, _ := nn.ModelKind(m); k != kind {
+			return nil, fmt.Errorf("artifact: metadata kind %q but model payload is %q", kind, k)
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("artifact: unknown model kind %q", kind)
+	}
+}
+
+type section struct {
+	name    string
+	payload []byte
+}
+
+// Encode writes the artifact to w in container format version 1.
+func Encode(w io.Writer, a *Artifact) error {
+	if a == nil || a.Model == nil {
+		return errors.New("artifact: nil model")
+	}
+	kind, err := ModelKind(a.Model)
+	if err != nil {
+		return err
+	}
+	if a.Meta.Kind == "" {
+		a.Meta.Kind = kind
+	} else if a.Meta.Kind != kind {
+		return fmt.Errorf("artifact: metadata kind %q does not match model type (%s)", a.Meta.Kind, kind)
+	}
+
+	metaJSON, err := json.Marshal(a.Meta)
+	if err != nil {
+		return err
+	}
+	sections := []section{{sectionMeta, metaJSON}}
+	if a.Scaler != nil {
+		var buf bytes.Buffer
+		if err := a.Scaler.Encode(&buf); err != nil {
+			return err
+		}
+		sections = append(sections, section{sectionScaler, buf.Bytes()})
+	}
+	if a.PCA != nil {
+		var buf bytes.Buffer
+		if err := a.PCA.Encode(&buf); err != nil {
+			return err
+		}
+		sections = append(sections, section{sectionPCA, buf.Bytes()})
+	}
+	modelPayload, err := encodeModelPayload(a.Model)
+	if err != nil {
+		return err
+	}
+	sections = append(sections, section{sectionModel, modelPayload})
+
+	var head bytes.Buffer
+	hw := wire.NewWriter(&head)
+	hw.U32(FormatVersion)
+	hw.U32(uint32(len(sections)))
+	for _, s := range sections {
+		hw.String(s.name)
+		hw.U64(uint64(len(s.payload)))
+		hw.U32(crc32.ChecksumIEEE(s.payload))
+	}
+	if err := hw.Err(); err != nil {
+		return err
+	}
+	if _, err := w.Write(Magic[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(head.Bytes()); err != nil {
+		return err
+	}
+	ww := wire.NewWriter(w)
+	ww.U32(crc32.ChecksumIEEE(head.Bytes()))
+	if err := ww.Err(); err != nil {
+		return err
+	}
+	for _, s := range sections {
+		if _, err := w.Write(s.payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SectionInfo describes one section table entry.
+type SectionInfo struct {
+	Name   string
+	Length uint64
+	CRC    uint32
+}
+
+// header is the decoded container prelude: version and section table.
+type header struct {
+	version  uint32
+	sections []SectionInfo
+}
+
+func readHeader(r io.Reader) (*header, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("artifact: not a .wcc artifact: %w", err)
+	}
+	if magic != Magic {
+		return nil, errors.New("artifact: bad magic: not a .wcc artifact")
+	}
+	// Everything between the magic and the header CRC is checksummed, so a
+	// corrupted section table (including names — a mangled name would
+	// otherwise look like a skippable unknown section) is always detected.
+	headCRC := crc32.NewIEEE()
+	rr := wire.NewReader(io.TeeReader(r, headCRC))
+	h := &header{version: rr.U32()}
+	if err := rr.Err(); err != nil {
+		return nil, err
+	}
+	if h.version > FormatVersion {
+		return nil, fmt.Errorf("artifact: format version %d not supported (this build reads <= %d)", h.version, FormatVersion)
+	}
+	if h.version == 0 {
+		return nil, errors.New("artifact: corrupt header: format version 0")
+	}
+	n := rr.U32()
+	if err := rr.Err(); err != nil {
+		return nil, err
+	}
+	if n == 0 || n > maxSections {
+		return nil, fmt.Errorf("artifact: corrupt header: %d sections", n)
+	}
+	h.sections = make([]SectionInfo, n)
+	for i := range h.sections {
+		h.sections[i].Name = rr.String()
+		h.sections[i].Length = rr.U64()
+		h.sections[i].CRC = rr.U32()
+		if err := rr.Err(); err != nil {
+			return nil, err
+		}
+		if h.sections[i].Length > maxSectionLen {
+			return nil, fmt.Errorf("artifact: section %q length %d exceeds sanity limit", h.sections[i].Name, h.sections[i].Length)
+		}
+	}
+	want := headCRC.Sum32()
+	tail := wire.NewReader(r) // past the tee: the CRC is not part of itself
+	got := tail.U32()
+	if err := tail.Err(); err != nil {
+		return nil, err
+	}
+	if got != want {
+		return nil, fmt.Errorf("artifact: header checksum mismatch (file %08x, computed %08x)", got, want)
+	}
+	return h, nil
+}
+
+// readSection consumes and verifies the next payload from r.
+func readSection(r io.Reader, info SectionInfo) ([]byte, error) {
+	payload := make([]byte, info.Length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("artifact: section %q truncated: %w", info.Name, err)
+	}
+	if crc := crc32.ChecksumIEEE(payload); crc != info.CRC {
+		return nil, fmt.Errorf("artifact: section %q checksum mismatch (file %08x, computed %08x)", info.Name, info.CRC, crc)
+	}
+	return payload, nil
+}
+
+// Decode reads an artifact from r, verifying magic, version, and every
+// section checksum. Corrupted or truncated input returns a descriptive
+// error; Decode never panics on hostile bytes.
+func Decode(r io.Reader) (*Artifact, error) {
+	h, err := readHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	a := &Artifact{}
+	sawMeta, sawModel := false, false
+	var modelPayload []byte
+	for _, info := range h.sections {
+		payload, err := readSection(r, info)
+		if err != nil {
+			return nil, err
+		}
+		switch info.Name {
+		case sectionMeta:
+			if err := json.Unmarshal(payload, &a.Meta); err != nil {
+				return nil, fmt.Errorf("artifact: corrupt metadata: %w", err)
+			}
+			sawMeta = true
+		case sectionScaler:
+			if a.Scaler, err = preprocess.DecodeScaler(bytes.NewReader(payload)); err != nil {
+				return nil, err
+			}
+		case sectionPCA:
+			if a.PCA, err = preprocess.DecodePCA(bytes.NewReader(payload)); err != nil {
+				return nil, err
+			}
+		case sectionModel:
+			// Deferred until the metadata (and with it the kind) is known;
+			// the meta section is written first but a reordered file is
+			// still legal.
+			modelPayload = payload
+			sawModel = true
+		default:
+			// Unknown sections are forward-compatible padding: skip.
+		}
+	}
+	if !sawMeta {
+		return nil, errors.New("artifact: missing meta section")
+	}
+	if !sawModel {
+		return nil, errors.New("artifact: missing model section")
+	}
+	if a.Model, err = decodeModelPayload(a.Meta.Kind, modelPayload); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Save atomically writes the artifact to path: the bytes land in a
+// temporary file in the same directory first and are renamed into place, so
+// a serving process polling the path never observes a half-written model.
+func Save(path string, a *Artifact) error {
+	var buf bytes.Buffer
+	if err := Encode(&buf, a); err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	// CreateTemp opens 0600; artifacts are ordinary shareable files.
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Load reads an artifact file.
+func Load(path string) (*Artifact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+// Info summarises an artifact without decoding the model payload.
+type Info struct {
+	FormatVersion uint32
+	Meta          Metadata
+	Sections      []SectionInfo
+}
+
+// ReadInfo reads the container header and metadata section only — the cheap
+// inspection path wccinfo uses. Section checksums other than the metadata's
+// are not verified.
+func ReadInfo(path string) (*Info, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	h, err := readHeader(f)
+	if err != nil {
+		return nil, err
+	}
+	info := &Info{FormatVersion: h.version, Sections: h.sections}
+	sawMeta := false
+	for _, s := range h.sections {
+		payload, err := readSection(f, s)
+		if err != nil {
+			return nil, err
+		}
+		if s.Name == sectionMeta {
+			if err := json.Unmarshal(payload, &info.Meta); err != nil {
+				return nil, fmt.Errorf("artifact: corrupt metadata: %w", err)
+			}
+			sawMeta = true
+			break
+		}
+	}
+	if !sawMeta {
+		return nil, errors.New("artifact: missing meta section")
+	}
+	return info, nil
+}
+
+// Sniff reports whether the file at path starts with the artifact magic.
+func Sniff(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return false
+	}
+	return magic == Magic
+}

@@ -20,6 +20,10 @@ type FeaturePair struct {
 	// standardised with, so serving paths can standardise live windows the
 	// exact same way (see repro.NewFleet).
 	Scaler *preprocess.StandardScaler
+	// PCA carries the fitted projection when the PCA pipeline produced the
+	// features (nil for the covariance pipeline); model artifacts bundle it
+	// so the whole preprocessing chain travels with the model.
+	PCA *preprocess.PCA
 }
 
 // standardised flattens both splits and standardises them with
@@ -81,7 +85,7 @@ func PCAFeatures(ch *dataset.Challenge, dim int, seed int64) (*FeaturePair, erro
 	if err != nil {
 		return nil, err
 	}
-	return &FeaturePair{TrainX: trainF, TrainY: ch.Train.Y, TestX: testF, TestY: ch.Test.Y, Scaler: scaler}, nil
+	return &FeaturePair{TrainX: trainF, TrainY: ch.Train.Y, TestX: testF, TestY: ch.Test.Y, Scaler: scaler, PCA: pca}, nil
 }
 
 // CovFeatureNames labels the covariance embedding dimensions with DCGM

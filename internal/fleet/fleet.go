@@ -14,7 +14,11 @@
 //     creating the job's embedder on first sight;
 //   - a batched inference engine (Tick) that coalesces every window that
 //     changed since the last tick into a single N×F feature matrix and runs
-//     one batched PredictProba call instead of N single-row calls.
+//     one batched PredictProba call instead of N single-row calls;
+//   - a zero-downtime model refresh (SwapClassifier) that installs a
+//     retrained classifier between inference ticks — the in-flight batch
+//     finishes on the old model, ingest never stalls, and no tick mixes
+//     predictions from two models.
 //
 // Models that implement BatchClassifier (forest, xgb) get their worker-pool
 // batched path; any stream.Classifier still works via one multi-row
@@ -85,6 +89,7 @@ type Monitor struct {
 	samples atomic.Uint64
 	ticks   atomic.Uint64
 	classed atomic.Uint64
+	swaps   atomic.Uint64
 }
 
 // New validates the configuration and returns an empty fleet monitor.
@@ -225,6 +230,35 @@ func (m *Monitor) Tick() (TickStats, error) {
 	m.classed.Add(uint64(len(ids)))
 	return stats, nil
 }
+
+// SwapClassifier atomically installs a new model for all subsequent ticks —
+// the zero-downtime refresh path for a retrained artifact rolling into a
+// live fleet. The swap serialises on the tick mutex: an in-flight batched
+// inference pass finishes on the old model, the new model takes effect at
+// the next tick, and no tick ever mixes the two. Ingest never touches the
+// model, so sample collection proceeds untouched throughout. Per-job window
+// state is preserved across the swap; the new model must therefore consume
+// the same feature layout (and the same scaler statistics) the fleet's
+// embedders were built with.
+//
+// Safe to call from any goroutine, concurrently with Ingest and Tick.
+func (m *Monitor) SwapClassifier(model stream.Classifier) error {
+	if model == nil {
+		return errors.New("fleet: cannot swap in a nil model")
+	}
+	m.tickMu.Lock()
+	defer m.tickMu.Unlock()
+	m.cfg.Model = model
+	m.batch = nil
+	if b, ok := model.(BatchClassifier); ok {
+		m.batch = b
+	}
+	m.swaps.Add(1)
+	return nil
+}
+
+// Swaps returns the number of completed classifier swaps.
+func (m *Monitor) Swaps() uint64 { return m.swaps.Load() }
 
 // Prediction returns the most recent classification for the job, or false
 // if the job is unknown or has not been classified yet. The returned

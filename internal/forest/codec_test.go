@@ -1,0 +1,131 @@
+package forest
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func fitSmallForest(t *testing.T, seed int64) (*Classifier, *mat.Matrix) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	x := mat.New(150, 8)
+	y := make([]int, x.Rows)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for i := range y {
+		y[i] = rng.Intn(4)
+	}
+	f := New(Config{NumTrees: 12, MaxDepth: 7, Bootstrap: true, Seed: seed})
+	if err := f.Fit(x, y, 4); err != nil {
+		t.Fatal(err)
+	}
+	eval := mat.New(60, 8)
+	for i := range eval.Data {
+		eval.Data[i] = rng.NormFloat64()
+	}
+	return f, eval
+}
+
+// TestCodecRoundTrip pins Fit → Encode → Decode → PredictProbaBatch
+// bit-identical to the in-memory forest on the same inputs.
+func TestCodecRoundTrip(t *testing.T) {
+	f, eval := fitSmallForest(t, 11)
+	var buf bytes.Buffer
+	if err := f.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTrees() != f.NumTrees() {
+		t.Fatalf("decoded %d trees, want %d", got.NumTrees(), f.NumTrees())
+	}
+	want, err := f.PredictProbaBatch(eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := got.PredictProbaBatch(eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if have.Data[i] != want.Data[i] {
+			t.Fatalf("prob[%d]: %v vs %v (not bit-identical)", i, have.Data[i], want.Data[i])
+		}
+	}
+
+	wantImp := f.FeatureImportances()
+	for i, v := range got.FeatureImportances() {
+		if v != wantImp[i] {
+			t.Fatalf("importance %d: %v vs %v", i, v, wantImp[i])
+		}
+	}
+}
+
+func TestEncodeUnfitted(t *testing.T) {
+	if err := New(DefaultConfig()).Encode(&bytes.Buffer{}); err == nil {
+		t.Fatal("encoding an unfitted forest should fail")
+	}
+}
+
+// TestOOBUnavailableAfterDecode pins that a decoded forest reports a
+// descriptive error for OOBScore instead of panicking on the missing
+// training-time out-of-bag state.
+func TestOOBUnavailableAfterDecode(t *testing.T) {
+	f, eval := fitSmallForest(t, 13)
+	var buf bytes.Buffer
+	if err := f.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]int, eval.Rows)
+	if _, err := got.OOBScore(eval, y); err == nil {
+		t.Fatal("OOBScore on a decoded forest should fail")
+	}
+}
+
+// TestDecodeRejectsMismatchedTreeHeader pins the crafted-payload defence: a
+// forest header claiming fewer classes than its embedded trees must fail to
+// decode instead of panicking later when a leaf distribution overruns the
+// forest's accumulator rows.
+func TestDecodeRejectsMismatchedTreeHeader(t *testing.T) {
+	f, _ := fitSmallForest(t, 19) // fitted for 4 classes
+	var buf bytes.Buffer
+	if err := f.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Forest header layout: u16 version, 4 int64 config fields, bool,
+	// 2 int64 (workers, seed), then numClasses at this offset.
+	const numClassesOff = 2 + 4*8 + 1 + 2*8
+	if raw[numClassesOff] != 4 {
+		t.Fatalf("header layout drifted: numClasses byte = %d", raw[numClassesOff])
+	}
+	raw[numClassesOff] = 2
+	_, err := Decode(bytes.NewReader(raw))
+	if err == nil {
+		t.Fatal("mismatched tree/forest class counts decoded successfully")
+	}
+}
+
+func TestDecodeTruncations(t *testing.T) {
+	f, _ := fitSmallForest(t, 17)
+	var buf bytes.Buffer
+	if err := f.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut += 997 {
+		if _, err := Decode(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+	}
+}

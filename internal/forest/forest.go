@@ -245,6 +245,9 @@ func (f *Classifier) OOBScore(x *mat.Matrix, y []int) (float64, error) {
 	if !f.cfg.Bootstrap {
 		return 0, errors.New("forest: OOB score needs bootstrap sampling")
 	}
+	if len(f.oobIdx) != len(f.trees) {
+		return 0, errors.New("forest: out-of-bag indices unavailable (model decoded from an artifact)")
+	}
 	votes := mat.New(x.Rows, f.numClasses)
 	counted := make([]bool, x.Rows)
 	for ti, t := range f.trees {

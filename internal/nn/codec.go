@@ -1,0 +1,198 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/wire"
+)
+
+// codecVersion is the nn payload format; bump on incompatible layout changes
+// so old readers fail descriptively instead of misloading.
+const codecVersion = 1
+
+// Model kind tags on the wire — also the artifact metadata vocabulary for
+// sequence models.
+const (
+	KindBiLSTM   = "bilstm"
+	KindCNNLSTM  = "cnnlstm"
+	KindConvLSTM = "convlstm"
+)
+
+// ModelKind returns the serialisation kind for a sequence classifier, or an
+// error for architectures the codec does not cover.
+func ModelKind(m SequenceClassifier) (string, error) {
+	switch m.(type) {
+	case *BiLSTMClassifier:
+		return KindBiLSTM, nil
+	case *CNNLSTMClassifier:
+		return KindCNNLSTM, nil
+	case *ConvLSTMClassifier:
+		return KindConvLSTM, nil
+	default:
+		return "", fmt.Errorf("nn: cannot serialise model type %T", m)
+	}
+}
+
+// modelSpec is the constructor recipe recovered from a fitted model: enough
+// to rebuild the architecture before copying the trained parameters in.
+type modelSpec struct {
+	kind       string
+	in         int // input channels (sensors)
+	hidden     int // LSTM hidden size / ConvLSTM feature maps
+	seqLen     int
+	numClasses int
+	layers     int  // BiLSTM stack depth
+	small      bool // CNN-LSTM small-kernel variant
+}
+
+func specOf(m SequenceClassifier) (modelSpec, error) {
+	switch mm := m.(type) {
+	case *BiLSTMClassifier:
+		if len(mm.layers) == 0 {
+			return modelSpec{}, errors.New("nn: empty BiLSTM classifier")
+		}
+		return modelSpec{
+			kind:       KindBiLSTM,
+			in:         mm.layers[0].Fwd.InSize,
+			hidden:     mm.layers[0].Fwd.HiddenSize,
+			seqLen:     mm.head.fc1.W.W.Cols,
+			numClasses: mm.head.fc2.W.W.Cols,
+			layers:     len(mm.layers),
+		}, nil
+	case *CNNLSTMClassifier:
+		return modelSpec{
+			kind:       KindCNNLSTM,
+			in:         mm.conv1.InCh,
+			hidden:     mm.rnn.Fwd.HiddenSize,
+			seqLen:     mm.head.fc1.W.W.Cols,
+			numClasses: mm.head.fc2.W.W.Cols,
+			small:      mm.conv1.Kernel == 3,
+		}, nil
+	case *ConvLSTMClassifier:
+		return modelSpec{
+			kind:       KindConvLSTM,
+			in:         mm.rnn.Positions,
+			hidden:     mm.rnn.Maps,
+			seqLen:     mm.head.fc1.W.W.Cols,
+			numClasses: mm.head.fc2.W.W.Cols,
+		}, nil
+	default:
+		return modelSpec{}, fmt.Errorf("nn: cannot serialise model type %T", m)
+	}
+}
+
+// maxSpecDim caps every architecture dimension read from the wire. The
+// challenge models are orders of magnitude smaller (7 sensors, 540 steps,
+// 26 classes, hidden ≤ a few hundred); anything larger is corruption, and
+// letting it through would ask the allocator for terabyte weight matrices —
+// a fatal out-of-memory abort, not a recoverable error.
+const maxSpecDim = 8192
+
+func (s modelSpec) validate() error {
+	for _, d := range []struct {
+		name string
+		v    int
+	}{
+		{"input channels", s.in},
+		{"hidden size", s.hidden},
+		{"sequence length", s.seqLen},
+		{"class count", s.numClasses},
+	} {
+		if d.v < 1 || d.v > maxSpecDim {
+			return fmt.Errorf("nn: corrupt architecture: %s %d out of range [1, %d]", d.name, d.v, maxSpecDim)
+		}
+	}
+	return nil
+}
+
+// build reconstructs the architecture the spec describes with zero-valued
+// training state; DecodeModel overwrites the freshly initialised weights.
+func (s modelSpec) build() (SequenceClassifier, error) {
+	switch s.kind {
+	case KindBiLSTM:
+		return NewBiLSTMClassifier(s.in, s.hidden, s.seqLen, s.numClasses, s.layers, 0)
+	case KindCNNLSTM:
+		return NewCNNLSTMClassifier(s.in, s.seqLen, s.numClasses, CNNLSTMOptions{Hidden: s.hidden, SmallKernel: s.small})
+	case KindConvLSTM:
+		return NewConvLSTMClassifier(s.in, s.hidden, s.seqLen, s.numClasses, 0)
+	default:
+		return nil, fmt.Errorf("nn: unknown model kind %q", s.kind)
+	}
+}
+
+// EncodeModel serialises a sequence classifier: the architecture recipe
+// followed by every trainable tensor (name, shape, values) in Params()
+// order. Gradients and layer caches are training-time state and are not
+// persisted; the decoded model's inference output (train=false) is
+// bit-identical to the original.
+func EncodeModel(w io.Writer, m SequenceClassifier) error {
+	spec, err := specOf(m)
+	if err != nil {
+		return err
+	}
+	ww := wire.NewWriter(w)
+	ww.U16(codecVersion)
+	ww.String(spec.kind)
+	ww.Int(spec.in)
+	ww.Int(spec.hidden)
+	ww.Int(spec.seqLen)
+	ww.Int(spec.numClasses)
+	ww.Int(spec.layers)
+	ww.Bool(spec.small)
+	params := m.Params()
+	ww.Int(len(params))
+	for _, p := range params {
+		ww.String(p.Name)
+		ww.Matrix(p.W)
+	}
+	return ww.Err()
+}
+
+// DecodeModel reads a sequence classifier previously written by EncodeModel,
+// rebuilding the architecture and verifying that every stored tensor matches
+// the rebuilt model's parameter names and shapes before copying values in.
+func DecodeModel(r io.Reader) (SequenceClassifier, error) {
+	rr := wire.NewReader(r)
+	if v := rr.U16(); rr.Err() == nil && v != codecVersion {
+		return nil, fmt.Errorf("nn: unsupported codec version %d (this build reads %d)", v, codecVersion)
+	}
+	spec := modelSpec{
+		kind:       rr.String(),
+		in:         rr.Int(),
+		hidden:     rr.Int(),
+		seqLen:     rr.Int(),
+		numClasses: rr.Int(),
+		layers:     rr.Int(),
+		small:      rr.Bool(),
+	}
+	numParams := rr.Int()
+	if err := rr.Err(); err != nil {
+		return nil, err
+	}
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	m, err := spec.build()
+	if err != nil {
+		return nil, err
+	}
+	params := m.Params()
+	if numParams != len(params) {
+		return nil, fmt.Errorf("nn: %s artifact has %d tensors, architecture has %d", spec.kind, numParams, len(params))
+	}
+	for i, p := range params {
+		name := rr.String()
+		w := rr.Matrix()
+		if err := rr.Err(); err != nil {
+			return nil, err
+		}
+		if name != p.Name || w.Rows != p.W.Rows || w.Cols != p.W.Cols {
+			return nil, fmt.Errorf("nn: tensor %d is %s %dx%d, architecture expects %s %dx%d",
+				i, name, w.Rows, w.Cols, p.Name, p.W.Rows, p.W.Cols)
+		}
+		copy(p.W.Data, w.Data)
+	}
+	return m, nil
+}

@@ -1,0 +1,184 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// seqData is a tiny in-memory SeqSource for codec tests.
+type seqData struct {
+	n, t, c int
+	data    []float64
+}
+
+func makeSeqData(n, t, c int, seed int64) *seqData {
+	rng := rand.New(rand.NewSource(seed))
+	d := &seqData{n: n, t: t, c: c, data: make([]float64, n*t*c)}
+	for i := range d.data {
+		d.data[i] = rng.NormFloat64()
+	}
+	return d
+}
+
+func (s *seqData) Dims() (n, t, c int)    { return s.n, s.t, s.c }
+func (s *seqData) At(i, t, c int) float64 { return s.data[(i*s.t+t)*s.c+c] }
+func (s *seqData) labels(k int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	y := make([]int, s.n)
+	for i := range y {
+		y[i] = rng.Intn(k)
+	}
+	return y
+}
+
+// roundTrip fits the model briefly (one real training epoch so the weights
+// leave their init state), encodes, decodes, and asserts PredictProbaBatch
+// is bit-identical between the in-memory and decoded models.
+func roundTrip(t *testing.T, m SequenceClassifier, x *seqData, numClasses int) {
+	t.Helper()
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 1
+	cfg.Patience = 0
+	cfg.BatchSize = 8
+	cfg.ValFrac = 0.2
+	if _, err := Train(m, x, x.labels(numClasses, 99), cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := EncodeModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeModel(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != m.Name() {
+		t.Fatalf("decoded model %q, want %q", got.Name(), m.Name())
+	}
+	want, err := PredictProbaBatch(m, x, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := PredictProbaBatch(got, x, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if have.Rows != want.Rows || have.Cols != want.Cols {
+		t.Fatalf("probs shape %dx%d, want %dx%d", have.Rows, have.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if have.Data[i] != want.Data[i] {
+			t.Fatalf("prob[%d]: %v vs %v (not bit-identical)", i, have.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestBiLSTMCodecRoundTrip(t *testing.T) {
+	x := makeSeqData(24, 6, 3, 41)
+	m, err := NewBiLSTMClassifier(3, 4, 6, 3, 1, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, m, x, 3)
+}
+
+func TestBiLSTM2CodecRoundTrip(t *testing.T) {
+	x := makeSeqData(24, 6, 3, 42)
+	m, err := NewBiLSTMClassifier(3, 4, 6, 3, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, m, x, 3)
+}
+
+func TestCNNLSTMCodecRoundTrip(t *testing.T) {
+	x := makeSeqData(24, 40, 3, 43)
+	m, err := NewCNNLSTMClassifier(3, 40, 3, CNNLSTMOptions{Hidden: 4, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, m, x, 3)
+}
+
+func TestCNNLSTMSmallKernelCodecRoundTrip(t *testing.T) {
+	x := makeSeqData(24, 40, 3, 44)
+	m, err := NewCNNLSTMClassifier(3, 40, 3, CNNLSTMOptions{Hidden: 4, SmallKernel: true, Seed: 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, m, x, 3)
+}
+
+func TestConvLSTMCodecRoundTrip(t *testing.T) {
+	x := makeSeqData(24, 6, 4, 45)
+	m, err := NewConvLSTMClassifier(4, 2, 6, 3, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, m, x, 3)
+}
+
+func TestModelKind(t *testing.T) {
+	m, err := NewBiLSTMClassifier(3, 4, 6, 3, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k, err := ModelKind(m); err != nil || k != KindBiLSTM {
+		t.Fatalf("ModelKind = %q, %v", k, err)
+	}
+	if _, err := ModelKind(nil); err == nil {
+		t.Fatal("nil model should be rejected")
+	}
+}
+
+// TestDecodeModelRejectsInsaneDimensions pins the crafted-payload defence:
+// absurd architecture dimensions must error before reaching the allocator,
+// where they would abort the process with an unrecoverable out-of-memory.
+func TestDecodeModelRejectsInsaneDimensions(t *testing.T) {
+	craft := func(in, hidden, seqLen, numClasses, layers int64) []byte {
+		var buf bytes.Buffer
+		w := wire.NewWriter(&buf)
+		w.U16(1) // codec version
+		w.String(KindBiLSTM)
+		w.I64(in)
+		w.I64(hidden)
+		w.I64(seqLen)
+		w.I64(numClasses)
+		w.I64(layers)
+		w.Bool(false)
+		w.Int(0) // no tensors
+		return buf.Bytes()
+	}
+	cases := [][5]int64{
+		{3, 1 << 40, 6, 3, 1}, // terabyte weight matrices
+		{-3, 4, 6, 3, 1},      // negative make() sizes
+		{3, 4, 0, 3, 1},
+		{3, 4, 6, 1 << 50, 1},
+	}
+	for _, c := range cases {
+		if _, err := DecodeModel(bytes.NewReader(craft(c[0], c[1], c[2], c[3], c[4]))); err == nil {
+			t.Errorf("spec %v decoded successfully", c)
+		}
+	}
+}
+
+func TestDecodeModelTruncations(t *testing.T) {
+	m, err := NewBiLSTMClassifier(3, 4, 6, 3, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut += 101 {
+		if _, err := DecodeModel(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package preprocess
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/wire"
+)
+
+// codecVersion is the preprocess payload format (scaler and PCA); bump on
+// incompatible layout changes so old readers fail descriptively instead of
+// misloading.
+const codecVersion = 1
+
+// Encode serialises the fitted scaler's column statistics. The scaler must
+// travel with any model it standardised features for, so live windows are
+// preprocessed exactly as the training set was.
+func (s *StandardScaler) Encode(w io.Writer) error {
+	if s.Means == nil {
+		return errors.New("preprocess: cannot encode an unfitted scaler")
+	}
+	ww := wire.NewWriter(w)
+	ww.U16(codecVersion)
+	ww.F64s(s.Means)
+	ww.F64s(s.Stds)
+	return ww.Err()
+}
+
+// DecodeScaler reads a scaler previously written by Encode.
+func DecodeScaler(r io.Reader) (*StandardScaler, error) {
+	rr := wire.NewReader(r)
+	if v := rr.U16(); rr.Err() == nil && v != codecVersion {
+		return nil, fmt.Errorf("preprocess: unsupported codec version %d (this build reads %d)", v, codecVersion)
+	}
+	s := &StandardScaler{Means: rr.F64s(), Stds: rr.F64s()}
+	if err := rr.Err(); err != nil {
+		return nil, err
+	}
+	if len(s.Means) == 0 || len(s.Means) != len(s.Stds) {
+		return nil, fmt.Errorf("preprocess: corrupt scaler (%d means, %d stds)", len(s.Means), len(s.Stds))
+	}
+	return s, nil
+}
+
+// Equal reports whether two fitted scalers carry bit-identical statistics —
+// the compatibility check serving hot-swap paths run before installing a new
+// model next to embedders that standardised with the old scaler.
+func (s *StandardScaler) Equal(o *StandardScaler) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	if len(s.Means) != len(o.Means) || len(s.Stds) != len(o.Stds) {
+		return false
+	}
+	for i := range s.Means {
+		if s.Means[i] != o.Means[i] || s.Stds[i] != o.Stds[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Encode serialises the fitted PCA projection.
+func (p *PCA) Encode(w io.Writer) error {
+	if p.Components == nil {
+		return errors.New("preprocess: cannot encode an unfitted PCA")
+	}
+	ww := wire.NewWriter(w)
+	ww.U16(codecVersion)
+	ww.Matrix(p.Components)
+	ww.F64s(p.Means)
+	ww.F64s(p.ExplainedVar)
+	return ww.Err()
+}
+
+// DecodePCA reads a PCA previously written by Encode.
+func DecodePCA(r io.Reader) (*PCA, error) {
+	rr := wire.NewReader(r)
+	if v := rr.U16(); rr.Err() == nil && v != codecVersion {
+		return nil, fmt.Errorf("preprocess: unsupported codec version %d (this build reads %d)", v, codecVersion)
+	}
+	p := &PCA{Components: rr.Matrix(), Means: rr.F64s(), ExplainedVar: rr.F64s()}
+	if err := rr.Err(); err != nil {
+		return nil, err
+	}
+	if p.Components.Rows < 1 || p.Components.Cols < 1 ||
+		len(p.Means) != p.Components.Rows || len(p.ExplainedVar) != p.Components.Cols {
+		return nil, errors.New("preprocess: corrupt PCA shapes")
+	}
+	return p, nil
+}

@@ -1,0 +1,187 @@
+package svm
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/wire"
+)
+
+// codecVersion is the svm payload format (shared by the kernel and linear
+// classifiers); bump on incompatible layout changes so old readers fail
+// descriptively instead of misloading.
+const codecVersion = 1
+
+// Kernel tags on the wire. Only the built-in kernels can be serialised;
+// custom Kernel implementations are rejected at encode time.
+const (
+	kernelRBF    = uint8(1)
+	kernelLinear = uint8(2)
+)
+
+func encodeKernel(ww *wire.Writer, k Kernel) error {
+	switch kk := k.(type) {
+	case RBFKernel:
+		ww.U8(kernelRBF)
+		ww.F64(kk.Gamma)
+	case LinearKernel:
+		ww.U8(kernelLinear)
+	default:
+		return fmt.Errorf("svm: cannot serialise custom kernel %T", k)
+	}
+	return nil
+}
+
+func decodeKernel(rr *wire.Reader) (Kernel, error) {
+	switch tag := rr.U8(); tag {
+	case kernelRBF:
+		return RBFKernel{Gamma: rr.F64()}, nil
+	case kernelLinear:
+		return LinearKernel{}, nil
+	default:
+		if err := rr.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("svm: unknown kernel tag %d", tag)
+	}
+}
+
+// Encode serialises the fitted one-vs-one SVC: config, the resolved kernel,
+// and every pairwise machine's support vectors, coefficients and bias.
+// Machines are written in sorted pair order so the encoding is deterministic.
+func (c *Classifier) Encode(w io.Writer) error {
+	if c.machines == nil {
+		return errors.New("svm: cannot encode an unfitted classifier")
+	}
+	ww := wire.NewWriter(w)
+	ww.U16(codecVersion)
+	ww.F64(c.cfg.C)
+	ww.F64(c.cfg.Tol)
+	ww.Int(c.cfg.MaxPasses)
+	ww.Int(c.cfg.MaxIter)
+	ww.I64(c.cfg.Seed)
+	ww.F64(c.gamma)
+	ww.Int(c.numFeats)
+	ww.Ints(c.classes)
+
+	pairs := make([][2]int, 0, len(c.machines))
+	for p := range c.machines {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a][0] != pairs[b][0] {
+			return pairs[a][0] < pairs[b][0]
+		}
+		return pairs[a][1] < pairs[b][1]
+	})
+	ww.Int(len(pairs))
+	for _, p := range pairs {
+		m := c.machines[p]
+		ww.Int(p[0])
+		ww.Int(p[1])
+		if err := encodeKernel(ww, m.kernel); err != nil {
+			return err
+		}
+		ww.Matrix(m.svX)
+		ww.F64s(m.svY)
+		ww.F64s(m.alpha)
+		ww.F64(m.b)
+	}
+	return ww.Err()
+}
+
+// Decode reads a classifier previously written by Encode.
+func Decode(r io.Reader) (*Classifier, error) {
+	rr := wire.NewReader(r)
+	if v := rr.U16(); rr.Err() == nil && v != codecVersion {
+		return nil, fmt.Errorf("svm: unsupported codec version %d (this build reads %d)", v, codecVersion)
+	}
+	c := &Classifier{}
+	c.cfg.C = rr.F64()
+	c.cfg.Tol = rr.F64()
+	c.cfg.MaxPasses = rr.Int()
+	c.cfg.MaxIter = rr.Int()
+	c.cfg.Seed = rr.I64()
+	c.gamma = rr.F64()
+	c.numFeats = rr.Int()
+	c.classes = rr.Ints()
+	numMachines := rr.Int()
+	if err := rr.Err(); err != nil {
+		return nil, err
+	}
+	if c.numFeats < 1 || len(c.classes) < 2 {
+		return nil, fmt.Errorf("svm: corrupt header (%d features, %d classes)", c.numFeats, len(c.classes))
+	}
+	want := len(c.classes) * (len(c.classes) - 1) / 2
+	if numMachines != want {
+		return nil, fmt.Errorf("svm: %d machines for %d classes, want %d", numMachines, len(c.classes), want)
+	}
+	c.machines = make(map[[2]int]*binarySVM, numMachines)
+	for i := 0; i < numMachines; i++ {
+		a := rr.Int()
+		b := rr.Int()
+		kernel, err := decodeKernel(rr)
+		if err != nil {
+			return nil, err
+		}
+		m := &binarySVM{kernel: kernel}
+		m.svX = rr.Matrix()
+		m.svY = rr.F64s()
+		m.alpha = rr.F64s()
+		m.b = rr.F64()
+		if err := rr.Err(); err != nil {
+			return nil, err
+		}
+		if m.svX.Cols != c.numFeats || len(m.svY) != m.svX.Rows || len(m.alpha) != m.svX.Rows {
+			return nil, fmt.Errorf("svm: machine (%d,%d) has inconsistent support-vector shapes", a, b)
+		}
+		c.machines[[2]int{a, b}] = m
+	}
+	return c, nil
+}
+
+// Encode serialises the fitted linear one-vs-rest classifier: config, weight
+// matrix, and biases.
+func (c *LinearClassifier) Encode(w io.Writer) error {
+	if c.W == nil {
+		return errors.New("svm: cannot encode an unfitted linear classifier")
+	}
+	ww := wire.NewWriter(w)
+	ww.U16(codecVersion)
+	ww.F64(c.cfg.C)
+	ww.Int(c.cfg.Epochs)
+	ww.F64(c.cfg.Tol)
+	ww.I64(c.cfg.Seed)
+	ww.Int(c.numFeats)
+	ww.Int(c.classes)
+	ww.Matrix(c.W)
+	ww.F64s(c.B)
+	return ww.Err()
+}
+
+// DecodeLinear reads a linear classifier previously written by Encode.
+func DecodeLinear(r io.Reader) (*LinearClassifier, error) {
+	rr := wire.NewReader(r)
+	if v := rr.U16(); rr.Err() == nil && v != codecVersion {
+		return nil, fmt.Errorf("svm: unsupported codec version %d (this build reads %d)", v, codecVersion)
+	}
+	c := &LinearClassifier{}
+	c.cfg.C = rr.F64()
+	c.cfg.Epochs = rr.Int()
+	c.cfg.Tol = rr.F64()
+	c.cfg.Seed = rr.I64()
+	c.numFeats = rr.Int()
+	c.classes = rr.Int()
+	c.W = rr.Matrix()
+	c.B = rr.F64s()
+	if err := rr.Err(); err != nil {
+		return nil, err
+	}
+	if c.classes < 2 || c.numFeats < 1 ||
+		c.W.Rows != c.classes || c.W.Cols != c.numFeats || len(c.B) != c.classes {
+		return nil, errors.New("svm: corrupt linear classifier shapes")
+	}
+	return c, nil
+}

@@ -1,0 +1,137 @@
+package svm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func codecData(seed int64) (*mat.Matrix, []int, *mat.Matrix) {
+	rng := rand.New(rand.NewSource(seed))
+	x := mat.New(90, 5)
+	y := make([]int, x.Rows)
+	for i := range y {
+		y[i] = rng.Intn(3)
+		row := x.Row(i)
+		for c := range row {
+			row[c] = rng.NormFloat64() + float64(y[i])*1.5
+		}
+	}
+	eval := mat.New(40, 5)
+	for i := range eval.Data {
+		eval.Data[i] = rng.NormFloat64()
+	}
+	return x, y, eval
+}
+
+// TestKernelCodecRoundTrip pins Fit → Encode → Decode → Predict bit-identical
+// labels for the one-vs-one SVC (its decision path has no randomness after
+// fitting, so identical support vectors give identical votes and margins).
+func TestKernelCodecRoundTrip(t *testing.T) {
+	x, y, eval := codecData(21)
+	c := New(Config{C: 1, Seed: 21})
+	if err := c.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumSupportVectors() != c.NumSupportVectors() {
+		t.Fatalf("decoded %d support vectors, want %d", got.NumSupportVectors(), c.NumSupportVectors())
+	}
+	if got.Gamma() != c.Gamma() {
+		t.Fatalf("decoded gamma %v, want %v", got.Gamma(), c.Gamma())
+	}
+	want, err := c.Predict(eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := got.Predict(eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if have[i] != want[i] {
+			t.Fatalf("row %d: label %d vs %d", i, have[i], want[i])
+		}
+	}
+}
+
+// TestLinearCodecRoundTrip pins the one-vs-rest linear machine's decision
+// scores bit-identical through a round trip.
+func TestLinearCodecRoundTrip(t *testing.T) {
+	x, y, eval := codecData(22)
+	c := NewLinear(LinearConfig{C: 1, Epochs: 40, Seed: 22})
+	if err := c.Fit(x, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeLinear(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.DecisionFunction(eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := got.DecisionFunction(eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if have.Data[i] != want.Data[i] {
+			t.Fatalf("score[%d]: %v vs %v (not bit-identical)", i, have.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestEncodeUnfittedAndCustomKernel(t *testing.T) {
+	if err := New(DefaultConfig()).Encode(&bytes.Buffer{}); err == nil {
+		t.Fatal("encoding an unfitted SVC should fail")
+	}
+	if err := NewLinear(DefaultLinearConfig()).Encode(&bytes.Buffer{}); err == nil {
+		t.Fatal("encoding an unfitted linear SVC should fail")
+	}
+
+	x, y, _ := codecData(23)
+	c := New(Config{C: 1, Kernel: customKernel{}, Seed: 23})
+	if err := c.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Encode(&bytes.Buffer{}); err == nil {
+		t.Fatal("custom kernels should be rejected at encode time")
+	}
+}
+
+func TestDecodeTruncations(t *testing.T) {
+	x, y, _ := codecData(24)
+	c := New(Config{C: 1, Seed: 24})
+	if err := c.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut += 509 {
+		if _, err := Decode(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+	}
+}
+
+type customKernel struct{}
+
+func (customKernel) Compute(a, b []float64) float64 { return mat.Dot(a, b) + 1 }
+func (customKernel) Name() string                   { return "custom" }

@@ -298,6 +298,12 @@ func (t *Classifier) FeatureImportances() []float64 {
 // NumNodes reports the tree size (diagnostics and tests).
 func (t *Classifier) NumNodes() int { return len(t.nodes) }
 
+// NumClasses reports the class count the tree was fitted for.
+func (t *Classifier) NumClasses() int { return t.numClasses }
+
+// NumFeatures reports the feature count the tree was fitted for.
+func (t *Classifier) NumFeatures() int { return t.numFeats }
+
 // Depth returns the maximum depth of the fitted tree.
 func (t *Classifier) Depth() int {
 	if len(t.nodes) == 0 {

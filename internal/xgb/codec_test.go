@@ -1,0 +1,92 @@
+package xgb
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func fitSmallBooster(t *testing.T, seed int64) (*Classifier, *mat.Matrix) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	x := mat.New(120, 6)
+	y := make([]int, x.Rows)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for i := range y {
+		y[i] = rng.Intn(3)
+	}
+	c := New(Config{NumRounds: 6, LearningRate: 0.3, MaxDepth: 4, Lambda: 1, MinChildWeight: 1, Subsample: 0.9, Seed: seed})
+	if err := c.Fit(x, y, 3, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	eval := mat.New(50, 6)
+	for i := range eval.Data {
+		eval.Data[i] = rng.NormFloat64()
+	}
+	return c, eval
+}
+
+// TestCodecRoundTrip pins Fit → Encode → Decode → PredictProbaBatch
+// bit-identical to the in-memory booster on the same inputs.
+func TestCodecRoundTrip(t *testing.T) {
+	c, eval := fitSmallBooster(t, 7)
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRounds() != c.NumRounds() {
+		t.Fatalf("decoded %d rounds, want %d", got.NumRounds(), c.NumRounds())
+	}
+	want, err := c.PredictProbaBatch(eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := got.PredictProbaBatch(eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if have.Data[i] != want.Data[i] {
+			t.Fatalf("prob[%d]: %v vs %v (not bit-identical)", i, have.Data[i], want.Data[i])
+		}
+	}
+
+	// Importances and the training-loss curve are provenance; they survive.
+	wantImp := c.FeatureImportances(ImportanceGain)
+	for i, v := range got.FeatureImportances(ImportanceGain) {
+		if v != wantImp[i] {
+			t.Fatalf("gain importance %d: %v vs %v", i, v, wantImp[i])
+		}
+	}
+	if len(got.TrainLoss) != len(c.TrainLoss) {
+		t.Fatalf("train loss length %d, want %d", len(got.TrainLoss), len(c.TrainLoss))
+	}
+}
+
+func TestEncodeUnfitted(t *testing.T) {
+	if err := New(DefaultConfig()).Encode(&bytes.Buffer{}); err == nil {
+		t.Fatal("encoding an unfitted booster should fail")
+	}
+}
+
+func TestDecodeTruncations(t *testing.T) {
+	c, _ := fitSmallBooster(t, 9)
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut += 211 {
+		if _, err := Decode(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+	}
+}

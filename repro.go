@@ -12,6 +12,12 @@
 //   - RunExperiment: regenerate a paper table by name.
 //   - NewFleet: a fleet monitor serving the trained model over live
 //     telemetry from many concurrent jobs (cmd/wccserve drives it).
+//   - SaveModel / LoadModel: persist a trained RF-Cov pipeline as a
+//     versioned .wcc artifact (model + scaler + provenance) and restore it,
+//     so serving starts in milliseconds instead of a training run;
+//     LoadedModel.NewFleet builds the serving monitor straight from the
+//     artifact, and fleet.Monitor.SwapClassifier rolls a newer artifact
+//     into a live fleet with zero downtime.
 //
 // For anything beyond these — other baselines, custom grids, npz interop —
 // import the internal packages directly; they are documented and tested as
@@ -19,14 +25,18 @@
 package repro
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/fleet"
 	"repro/internal/forest"
 	"repro/internal/metrics"
 	"repro/internal/preprocess"
+	"repro/internal/stream"
 	"repro/internal/telemetry"
 )
 
@@ -34,6 +44,11 @@ import (
 type Dataset struct {
 	Challenge *dataset.Challenge
 	Sim       *telemetry.Simulator
+	// Name, Scale and Seed record how the dataset was generated; saved
+	// artifacts carry them as training provenance.
+	Name  string
+	Scale float64
+	Seed  int64
 }
 
 // GenerateDataset simulates the labelled dataset at the given scale
@@ -55,7 +70,7 @@ func GenerateDataset(name string, scale float64, seed int64) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Dataset{Challenge: ch, Sim: sim}, nil
+	return &Dataset{Challenge: ch, Sim: sim, Name: name, Scale: scale, Seed: seed}, nil
 }
 
 // RFCovResult reports a TrainRFCov run.
@@ -114,6 +129,78 @@ func NewFleet(ds *Dataset, res *RFCovResult, shards int) (*fleet.Monitor, error)
 		Sensors: ds.Challenge.Train.X.C,
 		Scaler:  res.Scaler,
 		Model:   res.Model,
+		Shards:  shards,
+	})
+}
+
+// SaveModel writes a trained RF-Cov pipeline to path as a versioned .wcc
+// artifact: the fitted forest, the scaler its features were standardised
+// with, and training provenance (dataset, scale, seed, class names, test
+// accuracy). The write is atomic, so a serving process polling the path for
+// hot-swaps never observes a half-written model.
+func SaveModel(path string, ds *Dataset, res *RFCovResult) error {
+	return artifact.Save(path, &artifact.Artifact{
+		Meta: artifact.Metadata{
+			ClassNames:  res.ClassNames,
+			Features:    "cov",
+			Window:      ds.Challenge.Train.X.T,
+			Sensors:     ds.Challenge.Train.X.C,
+			Dataset:     ds.Name,
+			Scale:       ds.Scale,
+			Seed:        ds.Seed,
+			Accuracy:    res.Accuracy,
+			CreatedUnix: time.Now().Unix(),
+			Tool:        "repro.SaveModel",
+		},
+		Scaler: res.Scaler,
+		Model:  res.Model,
+	})
+}
+
+// LoadedModel is a deserialised serving artifact.
+type LoadedModel struct {
+	// Artifact holds the metadata, scaler and model as decoded.
+	Artifact *artifact.Artifact
+}
+
+// LoadModel reads a .wcc artifact and validates it is servable over live
+// telemetry: a covariance-feature model implementing the streaming
+// classifier contract, bundled with its scaler.
+func LoadModel(path string) (*LoadedModel, error) {
+	a, err := artifact.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if a.Meta.Features != "cov" {
+		return nil, fmt.Errorf("repro: artifact has %q features; live serving needs a covariance-feature model", a.Meta.Features)
+	}
+	if a.Scaler == nil {
+		return nil, errors.New("repro: artifact carries no scaler; live windows cannot be standardised")
+	}
+	if a.Meta.Window < 2 || a.Meta.Sensors < 1 {
+		return nil, fmt.Errorf("repro: artifact window shape %dx%d is invalid", a.Meta.Window, a.Meta.Sensors)
+	}
+	if _, ok := a.Model.(stream.Classifier); !ok {
+		return nil, fmt.Errorf("repro: %s models cannot serve streaming windows", a.Meta.Kind)
+	}
+	return &LoadedModel{Artifact: a}, nil
+}
+
+// Classifier returns the artifact's model as a streaming classifier.
+func (lm *LoadedModel) Classifier() stream.Classifier {
+	return lm.Artifact.Model.(stream.Classifier)
+}
+
+// NewFleet builds a fleet monitor serving the loaded artifact, the
+// zero-training counterpart of NewFleet: window shape and scaler come from
+// the artifact, so the monitor classifies live telemetry exactly as the
+// training-time pipeline would. shards ≤ 0 selects the default shard count.
+func (lm *LoadedModel) NewFleet(shards int) (*fleet.Monitor, error) {
+	return fleet.New(fleet.Config{
+		Window:  lm.Artifact.Meta.Window,
+		Sensors: lm.Artifact.Meta.Sensors,
+		Scaler:  lm.Artifact.Scaler,
+		Model:   lm.Classifier(),
 		Shards:  shards,
 	})
 }

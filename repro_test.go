@@ -1,10 +1,12 @@
 package repro_test
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro"
+	"repro/internal/fleet"
 	"repro/internal/telemetry"
 )
 
@@ -124,5 +126,98 @@ func TestFleetFacade(t *testing.T) {
 		if len(pred.Probs) != len(res.ClassNames) || pred.Class < 0 || pred.Class >= len(res.ClassNames) {
 			t.Fatalf("job %d: malformed prediction %+v", j.ID, pred)
 		}
+	}
+}
+
+// TestSaveLoadModelFacade pins the offline-train / online-serve split: a
+// model saved with SaveModel and restored with LoadModel must classify live
+// windows bit-identically to the in-memory pipeline, without any retraining.
+func TestSaveLoadModelFacade(t *testing.T) {
+	ds, err := repro.GenerateDataset("60-middle-1", 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := repro.TrainRFCov(ds, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "rf-cov.wcc")
+	if err := repro.SaveModel(path, ds, res); err != nil {
+		t.Fatal(err)
+	}
+	lm, err := repro.LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := lm.Artifact.Meta
+	if meta.Dataset != "60-middle-1" || meta.Scale != 0.05 || meta.Seed != 1 {
+		t.Fatalf("provenance did not survive: %+v", meta)
+	}
+	if meta.Window != ds.Challenge.Train.X.T || meta.Sensors != ds.Challenge.Train.X.C {
+		t.Fatalf("window shape %dx%d", meta.Window, meta.Sensors)
+	}
+	if meta.Accuracy != res.Accuracy {
+		t.Fatalf("accuracy %v, want %v", meta.Accuracy, res.Accuracy)
+	}
+
+	// Serve identical telemetry through a fleet from the in-memory model and
+	// one from the artifact; predictions must agree bit for bit.
+	mMem, err := repro.NewFleet(ds, res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mArt, err := lm.NewFleet(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live []*telemetry.Job
+	for _, j := range ds.Sim.Jobs() {
+		if j.Duration >= 62 {
+			live = append(live, j)
+		}
+		if len(live) == 3 {
+			break
+		}
+	}
+	if len(live) == 0 {
+		t.Fatal("no streamable jobs at this scale")
+	}
+	for _, monitor := range []*fleet.Monitor{mMem, mArt} {
+		r, err := telemetry.NewReplay(live, 0, 0, 61.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			s, ok := r.Next()
+			if !ok {
+				break
+			}
+			if err := monitor.Ingest(s.JobID, s.Values); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := monitor.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, j := range live {
+		want, ok1 := mMem.Prediction(j.ID)
+		got, ok2 := mArt.Prediction(j.ID)
+		if !ok1 || !ok2 {
+			t.Fatalf("job %d: missing prediction (mem %v, artifact %v)", j.ID, ok1, ok2)
+		}
+		if got.Class != want.Class || got.Probability != want.Probability {
+			t.Fatalf("job %d: artifact fleet (%d, %v) vs in-memory fleet (%d, %v)",
+				j.ID, got.Class, got.Probability, want.Class, want.Probability)
+		}
+		for c := range want.Probs {
+			if got.Probs[c] != want.Probs[c] {
+				t.Fatalf("job %d class %d: %v vs %v (not bit-identical)", j.ID, c, got.Probs[c], want.Probs[c])
+			}
+		}
+	}
+
+	if _, err := repro.LoadModel(filepath.Join(t.TempDir(), "missing.wcc")); err == nil {
+		t.Error("loading a missing artifact should fail")
 	}
 }
