@@ -9,8 +9,14 @@
 package repro_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -20,6 +26,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/preprocess"
+	"repro/internal/server"
 	"repro/internal/stream"
 	"repro/internal/svm"
 	"repro/internal/telemetry"
@@ -597,4 +604,69 @@ func BenchmarkFleetThroughput(b *testing.B) {
 			b.ReportMetric(float64(classed)/sec, "cls/s")
 		})
 	}
+}
+
+// BenchmarkServerIngestHTTP measures the HTTP serving layer end to end:
+// batched NDJSON ingest over a real loopback connection into the bounded
+// queue, worker-pool ingest, and per-request accounting — the acceptance
+// path cmd/wccload drives at scale.
+func BenchmarkServerIngestHTTP(b *testing.B) {
+	fixtures(b)
+	var scaler preprocess.StandardScaler
+	if _, err := scaler.FitTransform(fixMid.Train.X.Flatten()); err != nil {
+		b.Fatal(err)
+	}
+	model := forest.New(forest.Config{NumTrees: 20, Bootstrap: true, Seed: 1})
+	if err := model.Fit(fixCov.TrainX, fixCov.TrainY, int(telemetry.NumClasses)); err != nil {
+		b.Fatal(err)
+	}
+	window, sensors := fixMid.Train.X.T, fixMid.Train.X.C
+	m, err := fleet.New(fleet.Config{Window: window, Sensors: sensors, Scaler: &scaler, Model: model})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Monitor: m, TickEvery: 10 * time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// One 256-line batch spread over 32 jobs, replayed repeatedly.
+	const lines, jobs = 256, 32
+	src := fixSim.Jobs()[0]
+	w, err := src.GPUWindow(0, 0, lines)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var body bytes.Buffer
+	for t := 0; t < lines; t++ {
+		line, err := json.Marshal(struct {
+			Job    int       `json:"job"`
+			Values []float64 `json:"values"`
+		}{t % jobs, w.Row(t)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		body.Write(line)
+		body.WriteByte('\n')
+	}
+	payload := body.Bytes()
+	client := &http.Client{}
+
+	b.ResetTimer()
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(ts.URL+"/v1/ingest", "application/x-ndjson", bytes.NewReader(payload))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	b.ReportMetric(float64(lines)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
 }

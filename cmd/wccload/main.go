@@ -1,0 +1,366 @@
+// Command wccload drives the wccserve -listen HTTP API with simulated
+// telemetry over real loopback (or network) connections — the load
+// generator for the serving layer. It asks the server for its window shape
+// (/healthz), replays the same simulated jobs wccserve's demo mode would,
+// fans them out to the requested fleet size, and streams batched NDJSON
+// ingest requests from several concurrent connections, honouring the
+// server's 429 + Retry-After backpressure. Each fleet job's samples always
+// ride the same connection, so per-job sample order is preserved end to
+// end and server-side predictions are bit-identical to an in-process
+// fleet.Monitor fed the same replay.
+//
+// It reports client-observed ingest throughput and request latency
+// percentiles, then reads the fleet snapshot back and scores the server's
+// final classifications against the simulation's ground truth.
+//
+// Usage:
+//
+//	wccload -addr http://127.0.0.1:8077 -jobs 256 -seconds 120
+//	wccload -addr http://127.0.0.1:8077 -jobs 64 -scale 0.05 -batch 512 -conns 4
+//
+// -scale and -seed must match the serving model's training provenance for
+// the accuracy report to be meaningful (wccinfo shows them).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8077", "base URL of the wccserve -listen API")
+	jobs := flag.Int("jobs", 256, "number of concurrent fleet jobs to drive")
+	scale := flag.Float64("scale", 0.05, "simulation scale (match the serving model's provenance)")
+	seed := flag.Int64("seed", 1, "simulation seed (match the serving model's provenance)")
+	start := flag.Float64("start", 120, "job time at which replay begins")
+	seconds := flag.Float64("seconds", 120, "seconds of telemetry to replay per job")
+	batch := flag.Int("batch", 256, "NDJSON lines per ingest request")
+	conns := flag.Int("conns", runtime.GOMAXPROCS(0), "concurrent client connections")
+	flag.Parse()
+
+	if err := run(config{
+		addr: *addr, jobs: *jobs, scale: *scale, seed: *seed,
+		start: *start, seconds: *seconds, batch: *batch, conns: *conns,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "wccload:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	addr           string
+	jobs           int
+	scale          float64
+	seed           int64
+	start, seconds float64
+	batch          int
+	conns          int
+}
+
+// health mirrors the server's /healthz payload.
+type health struct {
+	Status  string `json:"status"`
+	Window  int    `json:"window"`
+	Sensors int    `json:"sensors"`
+}
+
+// ingestResponse mirrors the server's per-request ingest accounting.
+type ingestResponse struct {
+	Accepted int `json:"accepted"`
+	Rejected int `json:"rejected"`
+	Errors   []struct {
+		Line  int    `json:"line"`
+		Error string `json:"error"`
+	} `json:"errors"`
+}
+
+// snapshot mirrors GET /v1/jobs.
+type snapshot struct {
+	Count int `json:"count"`
+	Jobs  []struct {
+		Job   int  `json:"job"`
+		Ready bool `json:"ready"`
+		Class *int `json:"class"`
+	} `json:"jobs"`
+}
+
+// connStats accumulates one sender connection's observations.
+type connStats struct {
+	requests  int
+	throttled int
+	accepted  int
+	rejected  int
+	latencies []time.Duration
+	firstErr  string
+}
+
+func run(c config) error {
+	if c.jobs < 1 || c.batch < 1 {
+		return fmt.Errorf("need jobs ≥ 1 and batch ≥ 1")
+	}
+	if c.conns < 1 {
+		c.conns = 1
+	}
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: c.conns}}
+	hl, err := fetchHealth(client, c.addr)
+	if err != nil {
+		return fmt.Errorf("server not reachable at %s: %w", c.addr, err)
+	}
+	if hl.Window < 2 || hl.Sensors < 1 {
+		return fmt.Errorf("server reports implausible window shape %dx%d", hl.Window, hl.Sensors)
+	}
+	windowSec := float64(hl.Window) * telemetry.GPUSampleDT
+	if c.seconds <= windowSec {
+		return fmt.Errorf("replay horizon %.0fs must exceed the server's %.0fs window", c.seconds, windowSec)
+	}
+
+	// The same source selection and fan-out as wccserve's demo mode: fleet
+	// job k replays source k % len(sources).
+	sim, err := telemetry.NewSimulator(telemetry.Config{Seed: c.seed, Scale: c.scale, GapRate: 1})
+	if err != nil {
+		return err
+	}
+	var sources []*telemetry.Job
+	for _, j := range sim.Jobs() {
+		if j.Duration >= c.start+windowSec+1 {
+			sources = append(sources, j)
+		}
+	}
+	if len(sources) == 0 {
+		return fmt.Errorf("no simulated job runs past start %.0fs + the %.0fs window", c.start, windowSec)
+	}
+	if len(sources) > c.jobs {
+		sources = sources[:c.jobs]
+	}
+	replay, err := telemetry.NewReplay(sources, 0, c.start, c.start+c.seconds)
+	if err != nil {
+		return err
+	}
+	fanout := make(map[int][]int, replay.NumJobs())
+	for k := 0; k < c.jobs; k++ {
+		src := sources[k%len(sources)]
+		fanout[src.ID] = append(fanout[src.ID], k)
+	}
+
+	// Materialise each connection's request bodies up front, so the timed
+	// phase measures serving, not JSON assembly. Fleet job k is pinned to
+	// connection k % conns, preserving per-job sample order.
+	bodies := make([][][]byte, c.conns)
+	cur := make([][]byte, c.conns)
+	lines := make([]int, c.conns)
+	flush := func(w int) {
+		if lines[w] == 0 {
+			return
+		}
+		bodies[w] = append(bodies[w], cur[w])
+		cur[w], lines[w] = nil, 0
+	}
+	totalSamples := 0
+	for {
+		s, ok := replay.Next()
+		if !ok {
+			break
+		}
+		line, err := json.Marshal(struct {
+			Job    int       `json:"job"`
+			Values []float64 `json:"values"`
+		}{0, s.Values})
+		if err != nil {
+			return err
+		}
+		// Patch the job ID per fan-out target instead of re-marshalling the
+		// seven floats each time.
+		for _, k := range fanout[s.JobID] {
+			w := k % c.conns
+			patched := append([]byte(`{"job":`+strconv.Itoa(k)+`,`), line[len(`{"job":0,`):]...)
+			cur[w] = append(cur[w], patched...)
+			cur[w] = append(cur[w], '\n')
+			totalSamples++
+			if lines[w]++; lines[w] == c.batch {
+				flush(w)
+			}
+		}
+	}
+	for w := 0; w < c.conns; w++ {
+		flush(w)
+	}
+
+	requests := 0
+	for w := range bodies {
+		requests += len(bodies[w])
+	}
+	fmt.Printf("driving %d fleet jobs over %d telemetry series: %d samples in %d requests (%d-line batches) across %d connections\n",
+		c.jobs, len(sources), totalSamples, requests, c.batch, c.conns)
+
+	stats := make([]connStats, c.conns)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < c.conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sendAll(client, c.addr, bodies[w], &stats[w])
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	var all connStats
+	for _, st := range stats {
+		if st.firstErr != "" && all.firstErr == "" {
+			all.firstErr = st.firstErr
+		}
+		all.requests += st.requests
+		all.throttled += st.throttled
+		all.accepted += st.accepted
+		all.rejected += st.rejected
+		all.latencies = append(all.latencies, st.latencies...)
+	}
+	if all.firstErr != "" {
+		return fmt.Errorf("ingest failed: %s", all.firstErr)
+	}
+
+	fmt.Printf("\nsent %d samples in %s\n", totalSamples, elapsed.Round(time.Millisecond))
+	fmt.Printf("  ingest throughput: %.0f samples/sec (client-observed, end to end)\n", float64(all.accepted)/elapsed.Seconds())
+	fmt.Printf("  requests:          %d ok, %d throttled (429, retried), %d line errors\n",
+		all.requests, all.throttled, all.rejected)
+	fmt.Printf("  request latency:   p50 %s  p95 %s  p99 %s  max %s\n",
+		percentile(all.latencies, 0.50), percentile(all.latencies, 0.95),
+		percentile(all.latencies, 0.99), percentile(all.latencies, 1.0))
+	if all.accepted != totalSamples {
+		return fmt.Errorf("server accepted %d of %d samples", all.accepted, totalSamples)
+	}
+
+	// Read the fleet back and score it against the simulation's truth.
+	snap, err := fetchSnapshot(client, c.addr)
+	if err != nil {
+		return err
+	}
+	correct, scored := 0, 0
+	for _, row := range snap.Jobs {
+		if row.Class == nil || row.Job >= c.jobs {
+			continue
+		}
+		scored++
+		if telemetry.Class(*row.Class) == sources[row.Job%len(sources)].Class {
+			correct++
+		}
+	}
+	fmt.Printf("  fleet snapshot:    %d jobs registered on the server\n", snap.Count)
+	if scored > 0 {
+		fmt.Printf("  live accuracy:     %.1f%% (%d/%d jobs classified)\n",
+			100*float64(correct)/float64(scored), scored, c.jobs)
+	}
+	return nil
+}
+
+// sendAll posts one connection's bodies in order, retrying 429s after the
+// server's advertised backoff.
+func sendAll(client *http.Client, addr string, bodies [][]byte, st *connStats) {
+	for _, body := range bodies {
+		for {
+			reqStart := time.Now()
+			resp, err := client.Post(addr+"/v1/ingest", "application/x-ndjson", bytes.NewReader(body))
+			if err != nil {
+				st.firstErr = err.Error()
+				return
+			}
+			if resp.StatusCode == http.StatusTooManyRequests {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				st.throttled++
+				time.Sleep(retryAfter(resp))
+				continue
+			}
+			var ir ingestResponse
+			decErr := json.NewDecoder(resp.Body).Decode(&ir)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || decErr != nil {
+				st.firstErr = fmt.Sprintf("status %d (decode: %v)", resp.StatusCode, decErr)
+				return
+			}
+			st.requests++
+			st.latencies = append(st.latencies, time.Since(reqStart))
+			st.accepted += ir.Accepted
+			st.rejected += ir.Rejected
+			if ir.Rejected > 0 && st.firstErr == "" && len(ir.Errors) > 0 {
+				st.firstErr = fmt.Sprintf("line %d: %s", ir.Errors[0].Line, ir.Errors[0].Error)
+				return
+			}
+			break
+		}
+	}
+}
+
+// retryAfter parses the server's backoff hint, defaulting to 50ms so a
+// missing header cannot stall the driver.
+func retryAfter(resp *http.Response) time.Duration {
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 50 * time.Millisecond
+}
+
+func fetchHealth(client *http.Client, addr string) (*health, error) {
+	resp, err := client.Get(addr + "/healthz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var h health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, err
+	}
+	if h.Status != "ok" {
+		return nil, fmt.Errorf("server health is %q", h.Status)
+	}
+	return &h, nil
+}
+
+func fetchSnapshot(client *http.Client, addr string) (*snapshot, error) {
+	resp, err := client.Get(addr + "/v1/jobs")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("snapshot status %d", resp.StatusCode)
+	}
+	var s snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// percentile returns the q-quantile of the observed durations (nearest-rank).
+func percentile(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i].Round(time.Microsecond)
+}

@@ -11,13 +11,21 @@
 //	wccserve -jobs 256 -seconds 75
 //	wccserve -jobs 64 -scale 0.05 -trees 50 -workers 8 -tick 10ms
 //	wccserve -model rf-cov.wcc -jobs 256 -seconds 75
+//	wccserve -model rf-cov.wcc -listen 127.0.0.1:8077
 //
 // With -model no training happens: the artifact supplies the classifier,
 // the scaler, the window shape, and the simulation provenance for the
 // replay. While serving, the artifact path is polled (-model-poll) and a
-// changed file — e.g. a freshly retrained model atomically renamed into
-// place — is hot-swapped into the live fleet between inference ticks with
-// zero downtime.
+// replaced artifact — detected by its section CRCs, so even a same-size,
+// same-mtime rewrite is caught — is hot-swapped into the live fleet
+// between inference ticks with zero downtime.
+//
+// With -listen the internal replay is skipped entirely and the fleet is
+// served over the HTTP API (see internal/server): NDJSON batch ingest with
+// bounded-queue backpressure, prediction reads, /healthz and /metrics. The
+// artifact watcher keeps hot-swapping while the API serves; SIGINT/SIGTERM
+// drains gracefully — a final inference tick flushes pending windows before
+// exit. cmd/wccload is the matching load generator.
 //
 // When -jobs exceeds the simulated population of sufficiently long jobs,
 // telemetry series are fanned out to multiple fleet job IDs, so arbitrarily
@@ -25,17 +33,24 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro"
+	"repro/internal/artifact"
 	"repro/internal/fleet"
+	"repro/internal/server"
 	"repro/internal/telemetry"
 )
 
@@ -51,12 +66,15 @@ func main() {
 	tick := flag.Duration("tick", 10*time.Millisecond, "batched inference interval")
 	model := flag.String("model", "", "serve this .wcc artifact instead of training at startup")
 	modelPoll := flag.Duration("model-poll", 2*time.Second, "with -model: poll interval for hot-swapping a changed artifact (0 disables)")
+	listen := flag.String("listen", "", "serve the HTTP API on this address instead of running the replay demo")
+	evictAfter := flag.Duration("evict-after", 0, "with -listen: evict jobs idle longer than this (0 disables)")
 	flag.Parse()
 
 	if err := run(config{
 		jobs: *jobs, scale: *scale, seed: *seed, trees: *trees,
 		start: *start, seconds: *seconds, shards: *shards, workers: *workers,
 		tick: *tick, model: *model, modelPoll: *modelPoll,
+		listen: *listen, evictAfter: *evictAfter,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "wccserve:", err)
 		os.Exit(1)
@@ -74,6 +92,8 @@ type config struct {
 	tick           time.Duration
 	model          string
 	modelPoll      time.Duration
+	listen         string
+	evictAfter     time.Duration
 }
 
 // acquireModel produces the serving monitor plus the simulator and window
@@ -128,54 +148,106 @@ func acquireModel(c config) (*fleet.Monitor, *repro.LoadedModel, *telemetry.Simu
 	return monitor, lm, sim, meta.Window, meta.Sensors, nil
 }
 
-// watchModel polls the artifact path and hot-swaps a changed model into the
-// monitor. The old scaler must match the new one bit for bit — per-job
-// window state survives the swap, so a model trained under different
-// preprocessing statistics is rejected.
-func watchModel(c config, monitor *fleet.Monitor, lm *repro.LoadedModel, stop <-chan struct{}, swapped *uint64) {
-	var lastMod time.Time
-	var lastSize int64
-	if st, err := os.Stat(c.model); err == nil {
-		lastMod, lastSize = st.ModTime(), st.Size()
-	}
-	ticker := time.NewTicker(c.modelPoll)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-stop:
-			return
-		case <-ticker.C:
-			st, err := os.Stat(c.model)
-			if err != nil || (st.ModTime().Equal(lastMod) && st.Size() == lastSize) {
-				continue
-			}
-			lastMod, lastSize = st.ModTime(), st.Size()
-			next, err := repro.LoadModel(c.model)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "wccserve: model reload skipped: %v\n", err)
-				continue
-			}
-			meta := next.Artifact.Meta
-			if meta.Window != lm.Artifact.Meta.Window || meta.Sensors != lm.Artifact.Meta.Sensors {
-				fmt.Fprintf(os.Stderr, "wccserve: model reload skipped: window shape %dx%d differs from serving %dx%d\n",
-					meta.Window, meta.Sensors, lm.Artifact.Meta.Window, lm.Artifact.Meta.Sensors)
-				continue
-			}
-			if !next.Artifact.Scaler.Equal(lm.Artifact.Scaler) {
-				fmt.Fprintln(os.Stderr, "wccserve: model reload skipped: scaler statistics differ from the serving scaler")
-				continue
-			}
-			if err := monitor.SwapClassifier(next.Classifier()); err != nil {
-				fmt.Fprintf(os.Stderr, "wccserve: model reload skipped: %v\n", err)
-				continue
-			}
-			*swapped++
+// watchConfig builds the artifact-watcher configuration shared by the
+// replay demo and the HTTP serving mode: replacement detection by section
+// CRCs (artifact identity, not os.Stat, so same-size same-mtime rewrites
+// are caught), and a scaler/window compatibility gate because per-job
+// window state survives the swap.
+func watchConfig(c config, monitor *fleet.Monitor, lm *repro.LoadedModel) server.WatchConfig {
+	return server.WatchConfig{
+		Path:    c.model,
+		Every:   c.modelPoll,
+		Monitor: monitor,
+		Window:  lm.Artifact.Meta.Window,
+		Sensors: lm.Artifact.Meta.Sensors,
+		Scaler:  lm.Artifact.Scaler,
+		OnSwap: func(meta artifact.Metadata) {
 			fmt.Printf("hot-swapped %s model (accuracy %.2f%%) into the live fleet\n", meta.Kind, meta.Accuracy*100)
-		}
+		},
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "wccserve: "+format+"\n", args...)
+		},
 	}
 }
 
+// serveHTTP is the -listen mode: the fleet behind the HTTP API, the
+// artifact watcher hot-swapping underneath, and a graceful drain on
+// SIGINT/SIGTERM.
+func serveHTTP(c config) error {
+	monitor, lm, _, window, sensors, err := acquireModel(c)
+	if err != nil {
+		return err
+	}
+	names := make([]string, telemetry.NumClasses)
+	for _, cl := range telemetry.AllClasses() {
+		names[int(cl)] = cl.Name()
+	}
+	if lm != nil && len(lm.Artifact.Meta.ClassNames) > 0 {
+		names = lm.Artifact.Meta.ClassNames
+	}
+
+	srv, err := server.New(server.Config{
+		Monitor:    monitor,
+		ClassNames: names,
+		TickEvery:  c.tick,
+		EvictAfter: c.evictAfter,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "wccserve: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	stopWatch := make(chan struct{})
+	watchDone := make(chan struct{})
+	if lm != nil && c.modelPoll > 0 {
+		go func() {
+			defer close(watchDone)
+			server.Watch(stopWatch, watchConfig(c, monitor, lm))
+		}()
+	} else {
+		close(watchDone)
+	}
+
+	ln, err := net.Listen("tcp", c.listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving HTTP API on http://%s (%dx%d windows, tick %s)\n", ln.Addr(), window, sensors, c.tick)
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		return err // Serve never returns nil before Shutdown
+	case got := <-sig:
+		fmt.Printf("\nreceived %s, draining...\n", got)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "wccserve: http shutdown: %v\n", err)
+	}
+	close(stopWatch)
+	<-watchDone
+	if err := srv.Close(); err != nil {
+		return fmt.Errorf("final drain tick: %w", err)
+	}
+	fmt.Printf("drained: %d samples ingested into %d jobs, %d classifications over %d ticks, %d swaps, %d evictions\n",
+		monitor.SamplesIngested(), monitor.NumJobs(), monitor.Classifications(),
+		monitor.Ticks(), monitor.Swaps(), monitor.Evictions())
+	return nil
+}
+
 func run(c config) error {
+	if c.listen != "" {
+		return serveHTTP(c)
+	}
 	if c.jobs < 1 {
 		return fmt.Errorf("need at least one job, got %d", c.jobs)
 	}
@@ -224,13 +296,12 @@ func run(c config) error {
 		c.jobs, replay.NumJobs(), window, sensors, c.workers, c.tick)
 
 	// Artifact watcher: hot-swap a refreshed model while serving.
-	var swapped uint64
 	stopWatch := make(chan struct{})
 	watchDone := make(chan struct{})
 	if lm != nil && c.modelPoll > 0 {
 		go func() {
 			defer close(watchDone)
-			watchModel(c, monitor, lm, stopWatch, &swapped)
+			server.Watch(stopWatch, watchConfig(c, monitor, lm))
 		}()
 	} else {
 		close(watchDone)
@@ -332,8 +403,8 @@ func run(c config) error {
 		classed, float64(classed)/elapsed.Seconds(), monitor.Ticks())
 	fmt.Printf("  tick latency:       p50 %s  p95 %s  max %s\n",
 		percentile(tickDurations, 0.50), percentile(tickDurations, 0.95), percentile(tickDurations, 1.0))
-	if swapped > 0 {
-		fmt.Printf("  model hot-swaps:    %d\n", swapped)
+	if n := monitor.Swaps(); n > 0 {
+		fmt.Printf("  model hot-swaps:    %d\n", n)
 	}
 
 	// Live accuracy: the fleet's final belief per job against the truth.

@@ -30,8 +30,10 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/mat"
 	"repro/internal/preprocess"
@@ -65,11 +67,12 @@ type Config struct {
 
 // jobState is one job's slot in the registry, guarded by its shard's mutex.
 type jobState struct {
-	home    *shard // owning shard, for lock re-acquisition at write-back
-	emb     *stream.WindowedEmbedder
-	dirty   bool // samples arrived since the job was last classified
-	pred    *stream.Prediction
-	samples uint64
+	home     *shard // owning shard, for lock re-acquisition at write-back
+	emb      *stream.WindowedEmbedder
+	dirty    bool // samples arrived since the job was last classified
+	pred     *stream.Prediction
+	samples  uint64
+	lastSeen int64 // UnixNano of the last successful Ingest (0 if none)
 }
 
 type shard struct {
@@ -90,6 +93,7 @@ type Monitor struct {
 	ticks   atomic.Uint64
 	classed atomic.Uint64
 	swaps   atomic.Uint64
+	evicted atomic.Uint64
 }
 
 // New validates the configuration and returns an empty fleet monitor.
@@ -129,7 +133,13 @@ func (m *Monitor) shardFor(jobID int) *shard {
 
 // Ingest feeds one telemetry sample (one value per sensor) for the given
 // job, creating the job's embedder on first sight. Safe for concurrent use.
+// A sample of the wrong width is rejected before the job registers, so a
+// stream of invalid samples (e.g. hostile ingest traffic behind the HTTP
+// layer) cannot grow the registry.
 func (m *Monitor) Ingest(jobID int, sample []float64) error {
+	if len(sample) != m.cfg.Sensors {
+		return fmt.Errorf("fleet: sample has %d sensors, want %d", len(sample), m.cfg.Sensors)
+	}
 	sh := m.shardFor(jobID)
 	sh.mu.Lock()
 	js := sh.jobs[jobID]
@@ -146,6 +156,7 @@ func (m *Monitor) Ingest(jobID int, sample []float64) error {
 	if err == nil {
 		js.dirty = true
 		js.samples++
+		js.lastSeen = time.Now().UnixNano()
 	}
 	sh.mu.Unlock()
 	if err == nil {
@@ -158,30 +169,41 @@ func (m *Monitor) Ingest(jobID int, sample []float64) error {
 type TickStats struct {
 	// Classified is the number of jobs scored this tick (the batch height).
 	Classified int
-	// Pending is the number of registered jobs whose window has not filled.
+	// Pending is the number of registered jobs whose window has not filled,
+	// whether or not samples arrived since the last tick.
 	Pending int
+}
+
+// collected pairs a job selected into a tick's batch with the sample count
+// observed at collection time, so write-back can tell whether new samples
+// arrived while inference ran.
+type collected struct {
+	js   *jobState
+	seen uint64
 }
 
 // Tick runs one batched inference pass: every job whose window is full and
 // has received samples since its last classification is embedded into one
 // N×F matrix and scored with a single (batched, when available) model call.
 // Concurrent Ingest during a tick is safe; such samples are picked up by the
-// next tick.
+// next tick. A tick that fails (embedding error, model error, row-count
+// mismatch) leaves every collected job dirty, so the next tick re-scores
+// them — a transient error never silently drops pending classifications.
 func (m *Monitor) Tick() (TickStats, error) {
 	m.tickMu.Lock()
 	defer m.tickMu.Unlock()
 
 	var stats TickStats
-	var ids []*jobState
+	var batch []collected
 	var feats []float64
 	for _, sh := range m.shards {
 		sh.mu.Lock()
 		for _, js := range sh.jobs {
-			if !js.dirty {
-				continue
-			}
 			if !js.emb.Ready() {
 				stats.Pending++
+				continue
+			}
+			if !js.dirty {
 				continue
 			}
 			feats = append(feats, make([]float64, m.dim)...)
@@ -189,45 +211,49 @@ func (m *Monitor) Tick() (TickStats, error) {
 				sh.mu.Unlock()
 				return stats, err
 			}
-			js.dirty = false
-			ids = append(ids, js)
+			batch = append(batch, collected{js: js, seen: js.samples})
 		}
 		sh.mu.Unlock()
 	}
-	if len(ids) == 0 {
+	if len(batch) == 0 {
 		m.ticks.Add(1)
 		return stats, nil
 	}
 
-	batch := &mat.Matrix{Rows: len(ids), Cols: m.dim, Data: feats}
+	x := &mat.Matrix{Rows: len(batch), Cols: m.dim, Data: feats}
 	var probs *mat.Matrix
 	var err error
 	if m.batch != nil {
-		probs, err = m.batch.PredictProbaBatch(batch)
+		probs, err = m.batch.PredictProbaBatch(x)
 	} else {
-		probs, err = m.cfg.Model.PredictProba(batch)
+		probs, err = m.cfg.Model.PredictProba(x)
 	}
 	if err != nil {
 		return stats, err
 	}
-	if probs.Rows != len(ids) {
-		return stats, fmt.Errorf("fleet: model returned %d rows for %d windows", probs.Rows, len(ids))
+	if probs.Rows != len(batch) {
+		return stats, fmt.Errorf("fleet: model returned %d rows for %d windows", probs.Rows, len(batch))
 	}
 
 	// Write predictions back. jobState pointers are stable, but the dirty
 	// flag and pred field belong to the shard mutex, so re-lock per shard
-	// ordering doesn't matter — each job is visited once.
-	for i, js := range ids {
+	// ordering doesn't matter — each job is visited once. The dirty flag is
+	// retired only here, after the model call succeeded; a job that received
+	// more samples while inference ran stays dirty for the next tick.
+	for i, c := range batch {
 		row := probs.Row(i)
 		best := mat.ArgMax(row)
 		pred := &stream.Prediction{Class: best, Probability: row[best], Probs: row}
-		js.home.mu.Lock()
-		js.pred = pred
-		js.home.mu.Unlock()
+		c.js.home.mu.Lock()
+		c.js.pred = pred
+		if c.js.samples == c.seen {
+			c.js.dirty = false
+		}
+		c.js.home.mu.Unlock()
 	}
-	stats.Classified = len(ids)
+	stats.Classified = len(batch)
 	m.ticks.Add(1)
-	m.classed.Add(uint64(len(ids)))
+	m.classed.Add(uint64(len(batch)))
 	return stats, nil
 }
 
@@ -277,6 +303,101 @@ func (m *Monitor) Prediction(jobID int) (*stream.Prediction, bool) {
 	}
 	return p, true
 }
+
+// EndJob removes a finished job from the registry, releasing its embedder,
+// and returns the job's final published prediction (nil if it was never
+// classified) plus whether the job was registered at all. A sample arriving
+// for the same ID afterwards re-registers it from scratch. Safe to call
+// concurrently with Ingest and Tick.
+func (m *Monitor) EndJob(jobID int) (*stream.Prediction, bool) {
+	sh := m.shardFor(jobID)
+	sh.mu.Lock()
+	js := sh.jobs[jobID]
+	var pred *stream.Prediction
+	if js != nil {
+		pred = js.pred
+		delete(sh.jobs, jobID)
+	}
+	sh.mu.Unlock()
+	if js == nil {
+		return nil, false
+	}
+	m.evicted.Add(1)
+	return pred, true
+}
+
+// EvictIdle removes every job whose most recent successful sample is at
+// least maxIdle old (jobs that never ingested a sample successfully are
+// always idle) and reports how many were evicted. It is the garbage
+// collector for fleets whose producers cannot be relied on to call EndJob:
+// without it the registry grows by one window-sized embedder per job ever
+// seen. Safe to call concurrently with Ingest and Tick.
+func (m *Monitor) EvictIdle(maxIdle time.Duration) int {
+	if maxIdle < 0 {
+		maxIdle = 0
+	}
+	cutoff := time.Now().Add(-maxIdle).UnixNano()
+	n := 0
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for id, js := range sh.jobs {
+			if js.lastSeen <= cutoff {
+				delete(sh.jobs, id)
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if n > 0 {
+		m.evicted.Add(uint64(n))
+	}
+	return n
+}
+
+// JobInfo is one job's row in a fleet Snapshot.
+type JobInfo struct {
+	JobID int
+	// Samples counts the job's successfully ingested samples.
+	Samples uint64
+	// Ready reports whether the job's window has filled.
+	Ready bool
+	// LastSeen is when the job's most recent sample arrived (zero if none).
+	LastSeen time.Time
+	// Pred is the last published prediction, nil before the first. It is
+	// immutable once published.
+	Pred *stream.Prediction
+}
+
+// Snapshot returns a read-only, point-in-time view of every registered job,
+// sorted by job ID. Shards are visited one at a time, so the view is
+// consistent within a shard but jobs on different shards may be observed at
+// slightly different instants relative to concurrent ingest.
+func (m *Monitor) Snapshot() []JobInfo {
+	var out []JobInfo
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for id, js := range sh.jobs {
+			ji := JobInfo{JobID: id, Samples: js.samples, Ready: js.emb.Ready(), Pred: js.pred}
+			if js.lastSeen != 0 {
+				ji.LastSeen = time.Unix(0, js.lastSeen)
+			}
+			out = append(out, ji)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].JobID < out[j].JobID })
+	return out
+}
+
+// Window returns the per-job sliding-window length the monitor was built with.
+func (m *Monitor) Window() int { return m.cfg.Window }
+
+// Sensors returns the per-sample sensor count the monitor was built with.
+func (m *Monitor) Sensors() int { return m.cfg.Sensors }
+
+// Evictions returns the total number of jobs removed from the registry,
+// whether by EndJob or EvictIdle.
+func (m *Monitor) Evictions() uint64 { return m.evicted.Load() }
 
 // NumJobs counts registered jobs across all shards.
 func (m *Monitor) NumJobs() int {

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// handleMetrics renders Prometheus-style text metrics: monotonic counters
+// for scrapers that compute their own rates, plus convenience gauges —
+// samples/sec and classifications/sec over the interval since the previous
+// scrape (since start on the first), and tick-latency quantiles over the
+// last tickWindow ticks.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	samples := s.m.SamplesIngested()
+	classed := s.m.Classifications()
+
+	s.scrapeMu.Lock()
+	since := s.start
+	prevSamples, prevClassed := uint64(0), uint64(0)
+	if !s.lastScrape.IsZero() {
+		since = s.lastScrape
+		prevSamples, prevClassed = s.lastSamples, s.lastClassed
+	}
+	dt := now.Sub(since).Seconds()
+	var sampleRate, classRate float64
+	if dt > 0 {
+		sampleRate = float64(samples-prevSamples) / dt
+		classRate = float64(classed-prevClassed) / dt
+	}
+	s.lastScrape, s.lastSamples, s.lastClassed = now, samples, classed
+	s.scrapeMu.Unlock()
+
+	s.tickMu.Lock()
+	n := s.tickN
+	if n > tickWindow {
+		n = tickWindow
+	}
+	durs := make([]time.Duration, n)
+	copy(durs, s.tickDur[:n])
+	tickErrs := s.tickErrs
+	s.tickMu.Unlock()
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	counter("wcc_samples_ingested_total", "Telemetry samples accepted into the fleet.", samples)
+	counter("wcc_classifications_total", "Per-job classifications produced by inference ticks.", classed)
+	counter("wcc_ticks_total", "Completed batched inference ticks.", s.m.Ticks())
+	counter("wcc_tick_errors_total", "Inference ticks that returned an error.", tickErrs)
+	counter("wcc_model_swaps_total", "Zero-downtime classifier hot-swaps.", s.m.Swaps())
+	counter("wcc_jobs_evicted_total", "Jobs removed from the registry (EndJob or idle eviction).", s.m.Evictions())
+	counter("wcc_ingest_throttled_total", "Ingest requests answered 429 because the queue was full.", s.throttled.Load())
+	counter("wcc_ingest_line_errors_total", "Ingest lines rejected (malformed or unacceptable samples).", s.lineErrs.Load())
+	gauge("wcc_jobs", "Jobs currently registered in the fleet.", float64(s.m.NumJobs()))
+	gauge("wcc_ingest_queue_depth", "Parsed ingest batches waiting for a worker.", float64(len(s.queue)))
+	gauge("wcc_ingest_queue_capacity", "Bound on queued ingest batches.", float64(cap(s.queue)))
+	gauge("wcc_samples_per_second", "Ingest rate over the interval since the previous scrape.", sampleRate)
+	gauge("wcc_classifications_per_second", "Classification rate over the interval since the previous scrape.", classRate)
+	gauge("wcc_uptime_seconds", "Seconds since the serving layer started.", time.Since(s.start).Seconds())
+
+	fmt.Fprintf(w, "# HELP wcc_tick_latency_seconds Batched inference tick latency over the last %d ticks.\n", tickWindow)
+	fmt.Fprintf(w, "# TYPE wcc_tick_latency_seconds summary\n")
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		fmt.Fprintf(w, "wcc_tick_latency_seconds{quantile=%q} %g\n", fmt.Sprintf("%g", q), quantile(durs, q).Seconds())
+	}
+}
+
+// quantile returns the nearest-rank q-quantile of sorted durations.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,550 @@
+// Package server exposes a fleet.Monitor over HTTP — the network boundary
+// of the paper's deployment scenario (§VI): collectors on other machines
+// feed telemetry in, operators and dashboards read classifications out, and
+// the serving process keeps hot-swapping refreshed model artifacts
+// underneath without dropping either side.
+//
+// The API is deliberately small:
+//
+//	POST   /v1/ingest               NDJSON batch ingest, one sample per line:
+//	                                {"job":17,"values":[v0,...,v6]}
+//	                                Per-line error accounting; a malformed
+//	                                line never poisons the batch's valid
+//	                                samples. 429 + Retry-After when the
+//	                                bounded ingest queue is full.
+//	GET    /v1/jobs                 fleet-wide snapshot (per-job state and
+//	                                latest classification)
+//	GET    /v1/jobs/{id}/prediction latest full prediction for one job
+//	DELETE /v1/jobs/{id}            end a job, freeing its registry slot
+//	GET    /healthz                 liveness plus window shape
+//	GET    /metrics                 Prometheus-style text metrics
+//
+// Ingest is decoupled from request handling by a bounded queue drained by a
+// fixed worker pool: a handler parses its batch, enqueues it without
+// blocking, and waits for the workers' per-line results. When the queue is
+// full the server answers 429 with a Retry-After header instead of letting
+// requests pile up — backpressure is explicit and visible to clients. A
+// background goroutine runs the monitor's batched inference ticks on a
+// fixed cadence, and Close drains everything in order: queued batches are
+// ingested, loops stop, and one final tick flushes every pending window so
+// the tail of a drained stream still produces predictions.
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// Config sizes an HTTP serving layer over a fleet monitor.
+type Config struct {
+	// Monitor is the fleet being served. Required.
+	Monitor *fleet.Monitor
+	// ClassNames optionally maps class indices to workload names in
+	// prediction responses.
+	ClassNames []string
+	// TickEvery is the batched-inference cadence (default 10ms).
+	TickEvery time.Duration
+	// QueueDepth bounds how many parsed ingest batches may wait for a
+	// worker (default 256). A full queue makes POST /v1/ingest answer 429
+	// with Retry-After instead of blocking.
+	QueueDepth int
+	// Workers is the number of goroutines draining the ingest queue
+	// (default 4).
+	Workers int
+	// MaxBodyBytes caps one ingest request body (default 16 MiB).
+	MaxBodyBytes int64
+	// RetryAfter is the client backoff advertised on 429 (default 1s,
+	// rounded up to whole seconds on the wire).
+	RetryAfter time.Duration
+	// EvictAfter > 0 enables idle-job eviction: jobs idle longer than this
+	// are removed from the registry every EvictEvery (default EvictAfter/4),
+	// bounding memory on fleets whose producers never call DELETE.
+	EvictAfter time.Duration
+	// EvictEvery overrides the eviction sweep interval.
+	EvictEvery time.Duration
+	// Logf, when non-nil, receives operational log lines (tick errors,
+	// eviction sweeps).
+	Logf func(format string, args ...any)
+
+	// testHook, when non-nil, runs at the top of every worker batch —
+	// tests use it to hold workers and fill the queue deterministically.
+	testHook func()
+}
+
+// tickWindow is how many recent tick durations back the /metrics latency
+// quantiles.
+const tickWindow = 512
+
+// maxLineBytes caps one NDJSON line.
+const maxLineBytes = 1 << 20
+
+// maxReportedLineErrors caps the per-line error list echoed in an ingest
+// response; the rejected count is always exact.
+const maxReportedLineErrors = 64
+
+// Server is the HTTP serving layer. Build with New, mount Handler on an
+// http.Server, and Close after the listener has shut down.
+type Server struct {
+	cfg   Config
+	m     *fleet.Monitor
+	mux   *http.ServeMux
+	queue chan *ingestBatch
+	stop  chan struct{}
+	start time.Time
+
+	inflight  sync.WaitGroup // handlers between stop-check and result
+	workerWG  sync.WaitGroup
+	loopWG    sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
+
+	throttled atomic.Uint64 // 429 responses
+	lineErrs  atomic.Uint64 // rejected ingest lines
+
+	tickMu      sync.Mutex
+	tickDur     [tickWindow]time.Duration
+	tickN       uint64
+	tickErrs    uint64
+	lastTickErr string
+
+	scrapeMu    sync.Mutex
+	lastScrape  time.Time
+	lastSamples uint64
+	lastClassed uint64
+}
+
+type ingestBatch struct {
+	samples []sampleReq
+	done    chan batchResult
+}
+
+type sampleReq struct {
+	line   int
+	job    int
+	values []float64
+}
+
+type batchResult struct {
+	accepted int
+	errors   []lineError
+}
+
+// lineError is one rejected ingest line in an ingest response.
+type lineError struct {
+	Line  int    `json:"line"`
+	Error string `json:"error"`
+}
+
+// New validates the configuration, starts the ingest workers and the
+// inference tick loop, and returns the serving layer.
+func New(cfg Config) (*Server, error) {
+	if cfg.Monitor == nil {
+		return nil, errors.New("server: nil monitor")
+	}
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = 10 * time.Millisecond
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 16 << 20
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.EvictAfter > 0 && cfg.EvictEvery <= 0 {
+		cfg.EvictEvery = cfg.EvictAfter / 4
+	}
+	s := &Server{
+		cfg:   cfg,
+		m:     cfg.Monitor,
+		queue: make(chan *ingestBatch, cfg.QueueDepth),
+		stop:  make(chan struct{}),
+		start: time.Now(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleSnapshot)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/prediction", s.handlePrediction)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleEndJob)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+
+	for i := 0; i < cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	s.loopWG.Add(1)
+	go s.tickLoop()
+	if cfg.EvictAfter > 0 {
+		s.loopWG.Add(1)
+		go s.evictLoop()
+	}
+	return s, nil
+}
+
+// Handler returns the API's HTTP handler, to be mounted on the caller's
+// http.Server (or an httptest.Server in tests).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the serving layer: new ingest batches are refused, queued
+// batches are ingested by the workers, the background loops stop, and one
+// final inference tick flushes every pending window so the last samples of
+// a drained stream still produce predictions. Close returns the final
+// tick's error, if any. Call it after the HTTP listener has stopped
+// accepting requests (http.Server.Shutdown); Close does not stop the
+// listener itself, and read-only endpoints keep working afterwards.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		s.inflight.Wait()
+		close(s.queue)
+		s.workerWG.Wait()
+		s.loopWG.Wait()
+		s.closeErr = s.runTick()
+	})
+	return s.closeErr
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for b := range s.queue {
+		if s.cfg.testHook != nil {
+			s.cfg.testHook()
+		}
+		var res batchResult
+		for _, sm := range b.samples {
+			if err := s.m.Ingest(sm.job, sm.values); err != nil {
+				res.errors = append(res.errors, lineError{Line: sm.line, Error: err.Error()})
+			} else {
+				res.accepted++
+			}
+		}
+		b.done <- res
+	}
+}
+
+func (s *Server) tickLoop() {
+	defer s.loopWG.Done()
+	t := time.NewTicker(s.cfg.TickEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			if err := s.runTick(); err != nil {
+				s.logf("tick error: %v", err)
+			}
+		}
+	}
+}
+
+// runTick performs one timed inference pass and records its latency and
+// error state for /metrics and /healthz.
+func (s *Server) runTick() error {
+	t0 := time.Now()
+	_, err := s.m.Tick()
+	d := time.Since(t0)
+	s.tickMu.Lock()
+	s.tickDur[s.tickN%tickWindow] = d
+	s.tickN++
+	if err != nil {
+		s.tickErrs++
+		s.lastTickErr = err.Error()
+	} else {
+		s.lastTickErr = ""
+	}
+	s.tickMu.Unlock()
+	return err
+}
+
+func (s *Server) evictLoop() {
+	defer s.loopWG.Done()
+	t := time.NewTicker(s.cfg.EvictEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			if n := s.m.EvictIdle(s.cfg.EvictAfter); n > 0 {
+				s.logf("evicted %d jobs idle longer than %s", n, s.cfg.EvictAfter)
+			}
+		}
+	}
+}
+
+// ingestLine is the wire form of one NDJSON ingest line.
+type ingestLine struct {
+	Job    *int      `json:"job"`
+	Values []float64 `json:"values"`
+}
+
+// ingestResponse is the per-request accounting an ingest returns.
+type ingestResponse struct {
+	Accepted int         `json:"accepted"`
+	Rejected int         `json:"rejected"`
+	Errors   []lineError `json:"errors,omitempty"`
+	// ErrorsTruncated reports that more lines were rejected than Errors
+	// lists; Rejected is always the exact count.
+	ErrorsTruncated bool `json:"errors_truncated,omitempty"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	// Register with the drain barrier before checking it: a handler that
+	// passes the stop check is then guaranteed to enqueue before Close
+	// closes the queue (Close waits on inflight first), and one that Adds
+	// after Close's Wait necessarily observes stop closed here.
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	select {
+	case <-s.stop:
+		writeError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	default:
+	}
+
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+	var samples []sampleReq
+	var parseErrs []lineError
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var in ingestLine
+		if err := json.Unmarshal(raw, &in); err != nil {
+			parseErrs = append(parseErrs, lineError{Line: line, Error: "malformed JSON: " + err.Error()})
+			continue
+		}
+		if in.Job == nil || *in.Job < 0 {
+			parseErrs = append(parseErrs, lineError{Line: line, Error: `missing or negative "job"`})
+			continue
+		}
+		if len(in.Values) == 0 {
+			parseErrs = append(parseErrs, lineError{Line: line, Error: `missing or empty "values"`})
+			continue
+		}
+		samples = append(samples, sampleReq{line: line, job: *in.Job, values: in.Values})
+	}
+	if err := sc.Err(); err != nil {
+		// Nothing was enqueued yet, so a request-level failure rejects the
+		// whole batch rather than ingesting an unknown prefix.
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d bytes; split the batch", tooBig.Limit))
+		} else {
+			writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		}
+		return
+	}
+
+	var res batchResult
+	if len(samples) > 0 {
+		b := &ingestBatch{samples: samples, done: make(chan batchResult, 1)}
+		select {
+		case s.queue <- b:
+		default:
+			s.throttled.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+			writeError(w, http.StatusTooManyRequests, "ingest queue full")
+			return
+		}
+		res = <-b.done
+	}
+
+	all := append(parseErrs, res.errors...)
+	sort.Slice(all, func(i, j int) bool { return all[i].Line < all[j].Line })
+	s.lineErrs.Add(uint64(len(all)))
+	resp := ingestResponse{Accepted: res.accepted, Rejected: len(all), Errors: all}
+	if len(all) > maxReportedLineErrors {
+		resp.Errors = all[:maxReportedLineErrors]
+		resp.ErrorsTruncated = true
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// predictionResponse is the full per-job prediction read.
+type predictionResponse struct {
+	Job         int       `json:"job"`
+	Class       int       `json:"class"`
+	ClassName   string    `json:"class_name,omitempty"`
+	Probability float64   `json:"probability"`
+	Probs       []float64 `json:"probs"`
+}
+
+func (s *Server) className(class int) string {
+	if class >= 0 && class < len(s.cfg.ClassNames) {
+		return s.cfg.ClassNames[class]
+	}
+	return ""
+}
+
+func (s *Server) handlePrediction(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "job id must be an integer")
+		return
+	}
+	pred, ok := s.m.Prediction(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no prediction for job %d", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, predictionResponse{
+		Job: id, Class: pred.Class, ClassName: s.className(pred.Class),
+		Probability: pred.Probability, Probs: pred.Probs,
+	})
+}
+
+// jobSummary is one job's row in the fleet snapshot.
+type jobSummary struct {
+	Job     int    `json:"job"`
+	Samples uint64 `json:"samples"`
+	Ready   bool   `json:"ready"`
+	// LastSeenUnixMS is when the job's most recent sample arrived (0 if none).
+	LastSeenUnixMS int64 `json:"last_seen_unix_ms,omitempty"`
+	// Class/ClassName/Probability summarise the latest prediction and are
+	// absent for jobs not classified yet; full probabilities are on the
+	// per-job prediction endpoint.
+	Class       *int    `json:"class,omitempty"`
+	ClassName   string  `json:"class_name,omitempty"`
+	Probability float64 `json:"probability,omitempty"`
+}
+
+type snapshotResponse struct {
+	Count int          `json:"count"`
+	Jobs  []jobSummary `json:"jobs"`
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	snap := s.m.Snapshot()
+	resp := snapshotResponse{Count: len(snap), Jobs: make([]jobSummary, 0, len(snap))}
+	for _, ji := range snap {
+		row := jobSummary{Job: ji.JobID, Samples: ji.Samples, Ready: ji.Ready}
+		if !ji.LastSeen.IsZero() {
+			row.LastSeenUnixMS = ji.LastSeen.UnixMilli()
+		}
+		if ji.Pred != nil {
+			class := ji.Pred.Class
+			row.Class = &class
+			row.ClassName = s.className(class)
+			row.Probability = ji.Pred.Probability
+		}
+		resp.Jobs = append(resp.Jobs, row)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// endJobResponse acknowledges a DELETE with the job's final classification.
+type endJobResponse struct {
+	Job         int     `json:"job"`
+	Ended       bool    `json:"ended"`
+	Class       *int    `json:"class,omitempty"`
+	ClassName   string  `json:"class_name,omitempty"`
+	Probability float64 `json:"probability,omitempty"`
+}
+
+func (s *Server) handleEndJob(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "job id must be an integer")
+		return
+	}
+	final, ok := s.m.EndJob(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown job %d", id))
+		return
+	}
+	resp := endJobResponse{Job: id, Ended: true}
+	if final != nil {
+		class := final.Class
+		resp.Class = &class
+		resp.ClassName = s.className(class)
+		resp.Probability = final.Probability
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// healthResponse is the liveness read; Window and Sensors tell a load
+// driver what sample shape the fleet expects.
+type healthResponse struct {
+	Status        string  `json:"status"`
+	Jobs          int     `json:"jobs"`
+	Window        int     `json:"window"`
+	Sensors       int     `json:"sensors"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	LastTickError string  `json:"last_tick_error,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.tickMu.Lock()
+	lastErr := s.lastTickErr
+	s.tickMu.Unlock()
+	resp := healthResponse{
+		Status:        "ok",
+		Jobs:          s.m.NumJobs(),
+		Window:        s.m.Window(),
+		Sensors:       s.m.Sensors(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		LastTickError: lastErr,
+	}
+	code := http.StatusOK
+	if lastErr != "" {
+		resp.Status = "degraded"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
+}
+
+// retryAfterSeconds rounds the configured backoff up to the whole seconds
+// the Retry-After header speaks, never below 1.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}

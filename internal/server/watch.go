@@ -1,0 +1,125 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/fleet"
+	"repro/internal/preprocess"
+	"repro/internal/stream"
+)
+
+// WatchConfig describes one artifact path to poll for hot-swaps into a
+// live fleet.
+type WatchConfig struct {
+	// Path is the .wcc artifact to watch.
+	Path string
+	// Every is the poll interval (default 2s).
+	Every time.Duration
+	// Monitor receives the swapped classifier.
+	Monitor *fleet.Monitor
+	// Window, Sensors and Scaler are the serving fleet's shape and
+	// preprocessing statistics; a replacement artifact must match all
+	// three, because per-job window state survives the swap.
+	Window  int
+	Sensors int
+	Scaler  *preprocess.StandardScaler
+	// OnSwap, when non-nil, is called after each successful swap.
+	OnSwap func(meta artifact.Metadata)
+	// Logf, when non-nil, receives skipped-reload diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Watch polls the artifact path until stop is closed, hot-swapping each
+// content change into the monitor. Replacement is detected by artifact
+// identity — the container's section CRCs via artifact.ReadInfo — not by
+// os.Stat, so a retrained model atomically renamed into place is caught
+// even when the new file has the same size and a same-granularity mtime
+// (coarse filesystem timestamps make that a real occurrence for fast
+// retrain loops). artifact.Save renames atomically, so a poll never reads
+// a torn file; a path that is briefly unreadable is retried next poll.
+func Watch(stop <-chan struct{}, cfg WatchConfig) {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if cfg.Every <= 0 {
+		cfg.Every = 2 * time.Second
+	}
+	last, err := artifactIdentity(cfg.Path)
+	if err != nil {
+		logf("artifact watch: initial read of %s: %v", cfg.Path, err)
+	}
+	t := time.NewTicker(cfg.Every)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			ident, err := artifactIdentity(cfg.Path)
+			if err != nil || ident == last {
+				continue
+			}
+			last = ident
+			meta, err := swapFromPath(cfg)
+			if err != nil {
+				logf("model reload skipped: %v", err)
+				continue
+			}
+			if cfg.OnSwap != nil {
+				cfg.OnSwap(meta)
+			}
+		}
+	}
+}
+
+// artifactIdentity fingerprints an artifact by its container contents —
+// format version plus every section's name, length and CRC32 — so two
+// files with identical stat signatures but different payloads still
+// compare as different.
+func artifactIdentity(path string) (string, error) {
+	info, err := artifact.ReadInfo(path)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "v%d", info.FormatVersion)
+	for _, sec := range info.Sections {
+		fmt.Fprintf(&b, "|%s:%d:%08x", sec.Name, sec.Length, sec.CRC)
+	}
+	return b.String(), nil
+}
+
+// swapFromPath loads the artifact and, when it is compatible with the
+// serving fleet, swaps its classifier in.
+func swapFromPath(cfg WatchConfig) (artifact.Metadata, error) {
+	a, err := artifact.Load(cfg.Path)
+	if err != nil {
+		return artifact.Metadata{}, err
+	}
+	if a.Meta.Features != "cov" {
+		return artifact.Metadata{}, fmt.Errorf("artifact has %q features; live serving needs a covariance-feature model", a.Meta.Features)
+	}
+	cls, ok := a.Model.(stream.Classifier)
+	if !ok {
+		return artifact.Metadata{}, fmt.Errorf("%s models cannot serve streaming windows", a.Meta.Kind)
+	}
+	if a.Meta.Window != cfg.Window || a.Meta.Sensors != cfg.Sensors {
+		return artifact.Metadata{}, fmt.Errorf("window shape %dx%d differs from serving %dx%d",
+			a.Meta.Window, a.Meta.Sensors, cfg.Window, cfg.Sensors)
+	}
+	if a.Scaler == nil {
+		return artifact.Metadata{}, errors.New("artifact carries no scaler")
+	}
+	if !a.Scaler.Equal(cfg.Scaler) {
+		return artifact.Metadata{}, errors.New("scaler statistics differ from the serving scaler")
+	}
+	if err := cfg.Monitor.SwapClassifier(cls); err != nil {
+		return artifact.Metadata{}, err
+	}
+	return a.Meta, nil
+}

@@ -1,0 +1,222 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/fleet"
+	"repro/internal/forest"
+	"repro/internal/mat"
+	"repro/internal/preprocess"
+)
+
+// saveWatchArtifact writes a .wcc artifact with the given tool string (the
+// padding knob the size-equalisation below turns).
+func saveWatchArtifact(t *testing.T, path string, scaler *preprocess.StandardScaler, model *forest.Classifier, tool string) int64 {
+	t.Helper()
+	err := artifact.Save(path, &artifact.Artifact{
+		Meta: artifact.Metadata{
+			Features: "cov", Window: testWindow, Sensors: testSensors,
+			Accuracy: 0.5, CreatedUnix: 1234, Tool: tool,
+		},
+		Scaler: scaler,
+		Model:  model,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Size()
+}
+
+// altForest trains a second forest whose predictions differ from fixture's.
+func altForest(t *testing.T) *forest.Classifier {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	dim := preprocess.CovarianceDim(testSensors)
+	x := mat.New(200, dim)
+	y := make([]int, x.Rows)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for i := range y {
+		y[i] = rng.Intn(4)
+	}
+	f := forest.New(forest.Config{NumTrees: 9, MaxDepth: 5, Bootstrap: true, Seed: 77})
+	if err := f.Fit(x, y, 4); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestWatchDetectsSameStatReplacement is the regression test for the
+// stat-based watcher miss: a retrained artifact renamed into place with the
+// same byte length and the same mtime as its predecessor must still be
+// hot-swapped, because replacement detection now compares section CRCs via
+// artifact.ReadInfo rather than os.Stat.
+func TestWatchDetectsSameStatReplacement(t *testing.T) {
+	scaler, modelA := fixture(t)
+	modelB := altForest(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.wcc")
+	pathB := filepath.Join(dir, "replacement.wcc")
+
+	// Equalise file sizes by padding the smaller artifact's tool string:
+	// meta is plain-ASCII JSON, so one pad byte is one file byte.
+	sizeA := saveWatchArtifact(t, path, scaler, modelA, "watch-test")
+	sizeB := saveWatchArtifact(t, pathB, scaler, modelB, "watch-test")
+	if diff := sizeA - sizeB; diff > 0 {
+		saveWatchArtifact(t, pathB, scaler, modelB, "watch-test"+strings.Repeat("x", int(diff)))
+	} else if diff < 0 {
+		sizeA = saveWatchArtifact(t, path, scaler, modelA, "watch-test"+strings.Repeat("x", int(-diff)))
+	}
+
+	stA, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(pathB, stA.ModTime(), stA.ModTime()); err != nil {
+		t.Fatal(err)
+	}
+	// The premise of the regression: identical stat signature.
+	stB, err := os.Stat(pathB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stB.Size() != stA.Size() || !stB.ModTime().Equal(stA.ModTime()) {
+		t.Fatalf("fixture broke its own premise: size %d/%d mtime %v/%v",
+			stA.Size(), stB.Size(), stA.ModTime(), stB.ModTime())
+	}
+	// ...but different content identity.
+	identA, err := artifactIdentity(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identB, err := artifactIdentity(pathB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if identA == identB {
+		t.Fatal("replacement artifact has the same content identity")
+	}
+
+	monitor, err := fleet.New(fleet.Config{Window: testWindow, Sensors: testSensors, Scaler: scaler, Model: modelA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapped := make(chan artifact.Metadata, 1)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Watch(stop, WatchConfig{
+			Path: path, Every: 2 * time.Millisecond, Monitor: monitor,
+			Window: testWindow, Sensors: testSensors, Scaler: scaler,
+			OnSwap: func(meta artifact.Metadata) {
+				select {
+				case swapped <- meta:
+				default:
+				}
+			},
+		})
+	}()
+	defer func() { close(stop); <-done }()
+
+	// Let the watcher record the original identity, then atomically rename
+	// the replacement into place (rename preserves mtime).
+	time.Sleep(50 * time.Millisecond)
+	if err := os.Rename(pathB, path); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case meta := <-swapped:
+		if !strings.HasPrefix(meta.Tool, "watch-test") {
+			t.Fatalf("swapped metadata %+v", meta)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("same-size same-mtime replacement was never hot-swapped")
+	}
+	if n := monitor.Swaps(); n != 1 {
+		t.Fatalf("monitor saw %d swaps, want 1", n)
+	}
+
+	// The swapped model must actually serve: predictions now come from
+	// the replacement forest.
+	samples := jobSamples(21, testWindow)
+	for _, s := range samples {
+		if err := monitor.Ingest(21, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := monitor.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := monitor.Prediction(21)
+	if !ok {
+		t.Fatal("no prediction after swap")
+	}
+	if want := baseline(t, scaler, modelB, samples); !predictionEqual(got, want) {
+		t.Fatalf("post-swap prediction (%d, %v) does not match the replacement model (%d, %v)",
+			got.Class, got.Probability, want.Class, want.Probability)
+	}
+}
+
+// TestWatchRejectsIncompatibleArtifact pins the swap safety boundary:
+// per-job window state survives a swap, so an artifact with different
+// scaler statistics must be skipped, not installed.
+func TestWatchRejectsIncompatibleArtifact(t *testing.T) {
+	scaler, modelA := fixture(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.wcc")
+	saveWatchArtifact(t, path, scaler, modelA, "watch-test")
+
+	monitor, err := fleet.New(fleet.Config{Window: testWindow, Sensors: testSensors, Scaler: scaler, Model: modelA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skipped := make(chan string, 4)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Watch(stop, WatchConfig{
+			Path: path, Every: 2 * time.Millisecond, Monitor: monitor,
+			Window: testWindow, Sensors: testSensors, Scaler: scaler,
+			Logf: func(format string, args ...any) {
+				select {
+				case skipped <- fmt.Sprintf(format, args...):
+				default:
+				}
+			},
+		})
+	}()
+	defer func() { close(stop); <-done }()
+
+	time.Sleep(50 * time.Millisecond)
+	other := *scaler
+	other.Means = append([]float64(nil), scaler.Means...)
+	other.Means[0] += 1 // different training statistics
+	saveWatchArtifact(t, path, &other, modelA, "watch-test-2")
+
+	select {
+	case msg := <-skipped:
+		if !strings.Contains(msg, "scaler") {
+			t.Fatalf("skip reason %q, want a scaler mismatch", msg)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("incompatible artifact never reported as skipped")
+	}
+	if n := monitor.Swaps(); n != 0 {
+		t.Fatalf("incompatible artifact was swapped in (%d swaps)", n)
+	}
+}

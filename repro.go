@@ -12,6 +12,10 @@
 //   - RunExperiment: regenerate a paper table by name.
 //   - NewFleet: a fleet monitor serving the trained model over live
 //     telemetry from many concurrent jobs (cmd/wccserve drives it).
+//   - NewServer: the HTTP serving layer over a fleet monitor — NDJSON
+//     batch ingest with bounded-queue backpressure, prediction reads,
+//     health and Prometheus-style metrics, graceful drain (wccserve
+//     -listen serves it, cmd/wccload load-tests it).
 //   - SaveModel / LoadModel: persist a trained RF-Cov pipeline as a
 //     versioned .wcc artifact (model + scaler + provenance) and restore it,
 //     so serving starts in milliseconds instead of a training run;
@@ -36,6 +40,7 @@ import (
 	"repro/internal/forest"
 	"repro/internal/metrics"
 	"repro/internal/preprocess"
+	"repro/internal/server"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
 )
@@ -131,6 +136,21 @@ func NewFleet(ds *Dataset, res *RFCovResult, shards int) (*fleet.Monitor, error)
 		Model:   res.Model,
 		Shards:  shards,
 	})
+}
+
+// NewServer wraps a fleet monitor in the HTTP serving layer: NDJSON batch
+// ingest with per-request error accounting and bounded-queue backpressure
+// (429 + Retry-After), per-job prediction reads and a fleet snapshot, job
+// lifecycle (DELETE ends a job; idle eviction is configurable on the
+// underlying server.Config), /healthz, and Prometheus-style /metrics.
+// Mount the returned server's Handler on an http.Server and Close it after
+// the listener shuts down — the final inference tick flushes pending
+// windows, so a drained stream's last samples still produce predictions.
+// classNames optionally labels predictions; tickEvery ≤ 0 selects the
+// default inference cadence. For the full knob set import internal/server
+// directly.
+func NewServer(m *fleet.Monitor, classNames []string, tickEvery time.Duration) (*server.Server, error) {
+	return server.New(server.Config{Monitor: m, ClassNames: classNames, TickEvery: tickEvery})
 }
 
 // SaveModel writes a trained RF-Cov pipeline to path as a versioned .wcc

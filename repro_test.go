@@ -1,9 +1,14 @@
 package repro_test
 
 import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/fleet"
@@ -219,5 +224,100 @@ func TestSaveLoadModelFacade(t *testing.T) {
 
 	if _, err := repro.LoadModel(filepath.Join(t.TempDir(), "missing.wcc")); err == nil {
 		t.Error("loading a missing artifact should fail")
+	}
+}
+
+// TestNewServerFacade pins the public HTTP-serving entry point: train at
+// tiny scale, serve the fleet over a real loopback listener, ingest one
+// job's window as batched NDJSON, and read the classification back.
+func TestNewServerFacade(t *testing.T) {
+	ds, err := repro.GenerateDataset("60-middle-1", 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := repro.TrainRFCov(ds, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := repro.NewFleet(ds, res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := repro.NewServer(m, res.ClassNames, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var live *telemetry.Job
+	for _, j := range ds.Sim.Jobs() {
+		if j.Duration >= 62 {
+			live = j
+			break
+		}
+	}
+	if live == nil {
+		t.Fatal("no streamable job at this scale")
+	}
+	r, err := telemetry.NewReplay([]*telemetry.Job{live}, 0, 0, 61.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body strings.Builder
+	for {
+		s, ok := r.Next()
+		if !ok {
+			break
+		}
+		line, err := json.Marshal(struct {
+			Job    int       `json:"job"`
+			Values []float64 `json:"values"`
+		}{s.JobID, s.Values})
+		if err != nil {
+			t.Fatal(err)
+		}
+		body.Write(line)
+		body.WriteByte('\n')
+	}
+	resp, err := http.Post(ts.URL+"/v1/ingest", "application/x-ndjson", strings.NewReader(body.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acct struct {
+		Accepted int `json:"accepted"`
+		Rejected int `json:"rejected"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&acct); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || acct.Rejected != 0 || acct.Accepted == 0 {
+		t.Fatalf("ingest: status %d, accounting %+v", resp.StatusCode, acct)
+	}
+
+	// Drain flushes the pending window into a prediction...
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(fmt.Sprintf("%s/v1/jobs/%d/prediction", ts.URL, live.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pred struct {
+		Class     int    `json:"class"`
+		ClassName string `json:"class_name"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pred); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prediction status %d", resp.StatusCode)
+	}
+	// ...and the served result matches the in-process registry.
+	want, ok := m.Prediction(live.ID)
+	if !ok || pred.Class != want.Class || pred.ClassName != res.ClassNames[want.Class] {
+		t.Fatalf("served prediction %+v vs monitor %+v (ok=%v)", pred, want, ok)
 	}
 }
