@@ -19,7 +19,9 @@
 //	wccload -addr http://127.0.0.1:8077 -jobs 64 -scale 0.05 -batch 512 -conns 4
 //
 // -scale and -seed must match the serving model's training provenance for
-// the accuracy report to be meaningful (wccinfo shows them).
+// the accuracy report to be meaningful: wccinfo shows an artifact's
+// provenance, and the defaults here match wccserve's training defaults
+// (scale 0.08, seed 1) so the two commands agree out of the box.
 package main
 
 import (
@@ -43,12 +45,12 @@ import (
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8077", "base URL of the wccserve -listen API")
 	jobs := flag.Int("jobs", 256, "number of concurrent fleet jobs to drive")
-	scale := flag.Float64("scale", 0.05, "simulation scale (match the serving model's provenance)")
-	seed := flag.Int64("seed", 1, "simulation seed (match the serving model's provenance)")
-	start := flag.Float64("start", 120, "job time at which replay begins")
-	seconds := flag.Float64("seconds", 120, "seconds of telemetry to replay per job")
+	scale := flag.Float64("scale", 0.08, "simulation scale; must match the serving model's training provenance (wccinfo shows it) for the accuracy report to mean anything")
+	seed := flag.Int64("seed", 1, "simulation seed; must match the serving model's training provenance")
+	start := flag.Float64("start", 120, "job time at which replay begins (skips the class-agnostic startup phase)")
+	seconds := flag.Float64("seconds", 120, "seconds of telemetry to replay per job (must exceed the server's window)")
 	batch := flag.Int("batch", 256, "NDJSON lines per ingest request")
-	conns := flag.Int("conns", runtime.GOMAXPROCS(0), "concurrent client connections")
+	conns := flag.Int("conns", runtime.GOMAXPROCS(0), "concurrent client connections; each fleet job is pinned to one connection")
 	flag.Parse()
 
 	if err := run(config{
@@ -75,6 +77,7 @@ type health struct {
 	Status  string `json:"status"`
 	Window  int    `json:"window"`
 	Sensors int    `json:"sensors"`
+	Shards  int    `json:"shards"`
 }
 
 // ingestResponse mirrors the server's per-request ingest accounting.
@@ -203,8 +206,12 @@ func run(c config) error {
 	for w := range bodies {
 		requests += len(bodies[w])
 	}
-	fmt.Printf("driving %d fleet jobs over %d telemetry series: %d samples in %d requests (%d-line batches) across %d connections\n",
-		c.jobs, len(sources), totalSamples, requests, c.batch, c.conns)
+	serving := "an unsharded fleet"
+	if hl.Shards > 0 {
+		serving = fmt.Sprintf("%d serving shards", hl.Shards)
+	}
+	fmt.Printf("driving %d fleet jobs over %d telemetry series into %s: %d samples in %d requests (%d-line batches) across %d connections\n",
+		c.jobs, len(sources), serving, totalSamples, requests, c.batch, c.conns)
 
 	stats := make([]connStats, c.conns)
 	var wg sync.WaitGroup

@@ -1,31 +1,36 @@
 // Command wccserve demonstrates the serving path: it obtains the paper's
 // best baseline — either trained offline at startup, or loaded in
-// milliseconds from a .wcc artifact written by wcctrain -o / repro.SaveModel
-// — then replays live telemetry for a configurable number of concurrent
-// jobs through the fleet monitor and reports serving throughput —
-// samples/sec ingested, classifications/sec produced by the batched
-// inference ticks, and tick latency percentiles.
+// milliseconds from a .wcc artifact written by wcctrain -o /
+// repro.SaveModel — and serves it from the sharded core (internal/shard):
+// jobs hash to independent monitor shards (-shards, default GOMAXPROCS),
+// each ticking on its own goroutine. The replay demo streams live
+// telemetry for a configurable number of concurrent jobs through the core
+// and reports serving throughput — samples/sec ingested,
+// classifications/sec produced by the batched inference ticks, and
+// per-shard tick latency percentiles.
 //
 // Usage:
 //
 //	wccserve -jobs 256 -seconds 75
-//	wccserve -jobs 64 -scale 0.05 -trees 50 -workers 8 -tick 10ms
+//	wccserve -jobs 64 -scale 0.05 -trees 50 -workers 8 -tick 10ms -shards 4
 //	wccserve -model rf-cov.wcc -jobs 256 -seconds 75
-//	wccserve -model rf-cov.wcc -listen 127.0.0.1:8077
+//	wccserve -model rf-cov.wcc -listen 127.0.0.1:8077 -shards 8
 //
 // With -model no training happens: the artifact supplies the classifier,
 // the scaler, the window shape, and the simulation provenance for the
 // replay. While serving, the artifact path is polled (-model-poll) and a
 // replaced artifact — detected by its section CRCs, so even a same-size,
-// same-mtime rewrite is caught — is hot-swapped into the live fleet
-// between inference ticks with zero downtime.
+// same-mtime rewrite is caught — is hot-swapped into the live fleet with
+// zero downtime, installing on every shard atomically.
 //
 // With -listen the internal replay is skipped entirely and the fleet is
-// served over the HTTP API (see internal/server): NDJSON batch ingest with
-// bounded-queue backpressure, prediction reads, /healthz and /metrics. The
+// served over the HTTP API (see internal/server; docs/API.md is the full
+// reference): NDJSON batch ingest with bounded-queue backpressure,
+// prediction reads, /healthz and /metrics with per-shard series. The
 // artifact watcher keeps hot-swapping while the API serves; SIGINT/SIGTERM
-// drains gracefully — a final inference tick flushes pending windows before
-// exit. cmd/wccload is the matching load generator.
+// drains gracefully — queued batches land, then a final inference tick
+// flushes pending windows on every shard before exit. cmd/wccload is the
+// matching load generator.
 //
 // When -jobs exceeds the simulated population of sufficiently long jobs,
 // telemetry series are fanned out to multiple fleet job IDs, so arbitrarily
@@ -49,21 +54,21 @@ import (
 
 	"repro"
 	"repro/internal/artifact"
-	"repro/internal/fleet"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/telemetry"
 )
 
 func main() {
-	jobs := flag.Int("jobs", 64, "number of concurrent jobs to monitor")
-	scale := flag.Float64("scale", 0.08, "simulation scale (1.0 = the paper's 3,430 jobs)")
-	seed := flag.Int64("seed", 1, "simulation and training seed")
-	trees := flag.Int("trees", 100, "random-forest ensemble size")
-	start := flag.Float64("start", 120, "job time at which replay begins (skips the class-agnostic startup phase)")
-	seconds := flag.Float64("seconds", 75, "seconds of telemetry to replay per job")
-	shards := flag.Int("shards", 0, "fleet registry shards (0 = default)")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent ingest goroutines")
-	tick := flag.Duration("tick", 10*time.Millisecond, "batched inference interval")
+	jobs := flag.Int("jobs", 64, "replay demo: number of concurrent jobs to monitor (ignored with -listen)")
+	scale := flag.Float64("scale", 0.08, "simulation scale, 1.0 = the paper's 3,430 jobs; with -model only a fallback for artifacts lacking provenance")
+	seed := flag.Int64("seed", 1, "simulation and training seed; with -model only a fallback for artifacts lacking provenance")
+	trees := flag.Int("trees", 100, "random-forest ensemble size (training startup, i.e. without -model)")
+	start := flag.Float64("start", 120, "replay demo: job time at which replay begins (skips the class-agnostic startup phase)")
+	seconds := flag.Float64("seconds", 75, "replay demo: seconds of telemetry to replay per job (ignored with -listen)")
+	shards := flag.Int("shards", 0, "serving-core shards: independent monitors with their own tick loops (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "ingest goroutines: replay-demo senders, or the -listen ingest worker pool")
+	tick := flag.Duration("tick", 10*time.Millisecond, "per-shard batched inference interval")
 	model := flag.String("model", "", "serve this .wcc artifact instead of training at startup")
 	modelPoll := flag.Duration("model-poll", 2*time.Second, "with -model: poll interval for hot-swapping a changed artifact (0 disables)")
 	listen := flag.String("listen", "", "serve the HTTP API on this address instead of running the replay demo")
@@ -96,10 +101,10 @@ type config struct {
 	evictAfter     time.Duration
 }
 
-// acquireModel produces the serving monitor plus the simulator and window
-// shape the replay needs — by training offline (the original path) or by
-// loading an artifact (milliseconds to first classification).
-func acquireModel(c config) (*fleet.Monitor, *repro.LoadedModel, *telemetry.Simulator, int, int, error) {
+// acquireModel produces the sharded serving core plus the simulator and
+// window shape the replay needs — by training offline (the original path)
+// or by loading an artifact (milliseconds to first classification).
+func acquireModel(c config) (*shard.Core, *repro.LoadedModel, *telemetry.Simulator, int, int, error) {
 	if c.model == "" {
 		fmt.Printf("offline phase: training RF-Cov (%d trees) on 60-middle-1 at scale %.2f...\n", c.trees, c.scale)
 		ds, err := repro.GenerateDataset("60-middle-1", c.scale, c.seed)
@@ -111,7 +116,7 @@ func acquireModel(c config) (*fleet.Monitor, *repro.LoadedModel, *telemetry.Simu
 			return nil, nil, nil, 0, 0, err
 		}
 		fmt.Printf("  offline test accuracy: %.2f%%\n\n", res.Accuracy*100)
-		monitor, err := repro.NewFleet(ds, res, c.shards)
+		monitor, err := repro.NewShardedFleet(ds, res, c.shards)
 		if err != nil {
 			return nil, nil, nil, 0, 0, err
 		}
@@ -141,7 +146,7 @@ func acquireModel(c config) (*fleet.Monitor, *repro.LoadedModel, *telemetry.Simu
 	if err != nil {
 		return nil, nil, nil, 0, 0, err
 	}
-	monitor, err := lm.NewFleet(c.shards)
+	monitor, err := lm.NewShardedFleet(c.shards)
 	if err != nil {
 		return nil, nil, nil, 0, 0, err
 	}
@@ -153,7 +158,7 @@ func acquireModel(c config) (*fleet.Monitor, *repro.LoadedModel, *telemetry.Simu
 // CRCs (artifact identity, not os.Stat, so same-size same-mtime rewrites
 // are caught), and a scaler/window compatibility gate because per-job
 // window state survives the swap.
-func watchConfig(c config, monitor *fleet.Monitor, lm *repro.LoadedModel) server.WatchConfig {
+func watchConfig(c config, monitor server.Monitor, lm *repro.LoadedModel) server.WatchConfig {
 	return server.WatchConfig{
 		Path:    c.model,
 		Every:   c.modelPoll,
@@ -190,6 +195,7 @@ func serveHTTP(c config) error {
 		Monitor:    monitor,
 		ClassNames: names,
 		TickEvery:  c.tick,
+		Workers:    c.workers,
 		EvictAfter: c.evictAfter,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "wccserve: "+format+"\n", args...)
@@ -214,7 +220,8 @@ func serveHTTP(c config) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving HTTP API on http://%s (%dx%d windows, tick %s)\n", ln.Addr(), window, sensors, c.tick)
+	fmt.Printf("serving HTTP API on http://%s (%dx%d windows, %d shards, tick %s)\n",
+		ln.Addr(), window, sensors, monitor.NumShards(), c.tick)
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
@@ -292,8 +299,8 @@ func run(c config) error {
 		fanout[src.ID] = append(fanout[src.ID], k)
 	}
 
-	fmt.Printf("live phase: %d fleet jobs over %d distinct telemetry series, %dx%d windows, %d ingest workers, tick %s\n",
-		c.jobs, replay.NumJobs(), window, sensors, c.workers, c.tick)
+	fmt.Printf("live phase: %d fleet jobs over %d distinct telemetry series, %dx%d windows, %d shards, %d ingest workers, tick %s\n",
+		c.jobs, replay.NumJobs(), window, sensors, monitor.NumShards(), c.workers, c.tick)
 
 	// Artifact watcher: hot-swap a refreshed model while serving.
 	stopWatch := make(chan struct{})
@@ -339,27 +346,23 @@ func run(c config) error {
 		}(chans[i])
 	}
 
-	// Ticker: batched inference at a fixed cadence while ingest runs.
+	// Per-shard tick loops: batched inference on every shard at a fixed
+	// cadence, on independent goroutines, while ingest runs.
+	var tickMu sync.Mutex
 	var tickDurations []time.Duration
-	tickDone := make(chan error, 1)
+	var tickErr error
 	stopTicks := make(chan struct{})
+	ticksDone := make(chan struct{})
 	go func() {
-		ticker := time.NewTicker(c.tick)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-stopTicks:
-				tickDone <- nil
-				return
-			case <-ticker.C:
-				t0 := time.Now()
-				if _, err := monitor.Tick(); err != nil {
-					tickDone <- err
-					return
-				}
-				tickDurations = append(tickDurations, time.Since(t0))
+		defer close(ticksDone)
+		monitor.Run(stopTicks, c.tick, func(st shard.ShardTick) {
+			tickMu.Lock()
+			if st.Err != nil && tickErr == nil {
+				tickErr = st.Err
 			}
-		}
+			tickDurations = append(tickDurations, st.Dur)
+			tickMu.Unlock()
+		})
 	}()
 
 	wallStart := time.Now()
@@ -377,8 +380,9 @@ func run(c config) error {
 	}
 	ingestWG.Wait()
 	close(stopTicks)
-	if err := <-tickDone; err != nil {
-		return err
+	<-ticksDone
+	if tickErr != nil {
+		return tickErr
 	}
 	select {
 	case err := <-ingestErr:

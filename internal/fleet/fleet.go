@@ -18,13 +18,22 @@
 //   - a zero-downtime model refresh (SwapClassifier) that installs a
 //     retrained classifier between inference ticks — the in-flight batch
 //     finishes on the old model, ingest never stalls, and no tick mixes
-//     predictions from two models.
+//     predictions from two models;
+//   - job lifecycle: EndJob releases a finished job's slot and returns its
+//     final prediction, EvictIdle garbage-collects jobs whose producers
+//     went away, and Snapshot gives operators a read-only, ID-sorted view
+//     of every registered job.
 //
 // Models that implement BatchClassifier (forest, xgb) get their worker-pool
 // batched path; any stream.Classifier still works via one multi-row
 // PredictProba call. Either way per-row results are bit-identical to what a
 // per-job stream.Monitor would produce, so scaling out changes throughput,
 // not predictions.
+//
+// One Monitor still serialises inference on a single tick mutex; package
+// shard partitions jobs across many Monitors with independent tick loops
+// when that becomes the bottleneck, and package server puts the HTTP API
+// in front of either.
 package fleet
 
 import (

@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"sort"
 	"time"
+
+	"repro/internal/shard"
 )
 
 // handleMetrics renders Prometheus-style text metrics: monotonic counters
@@ -72,6 +74,37 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, q := range []float64{0.5, 0.95, 0.99} {
 		fmt.Fprintf(w, "wcc_tick_latency_seconds{quantile=%q} %g\n", fmt.Sprintf("%g", q), quantile(durs, q).Seconds())
 	}
+
+	if s.sharded != nil {
+		s.writeShardMetrics(w)
+	}
+}
+
+// writeShardMetrics renders the per-shard series of a sharded fleet, one
+// HELP/TYPE block per metric with a shard label per series, so a scraper
+// can spot a cold or overloaded shard that the fleet-wide sums average
+// away.
+func (s *Server) writeShardMetrics(w http.ResponseWriter) {
+	per := s.sharded.ShardStats()
+	fmt.Fprintf(w, "# HELP wcc_shards Monitor shards in the serving core.\n# TYPE wcc_shards gauge\nwcc_shards %d\n", len(per))
+	shardCounter := func(name, help string, v func(shard.Stats) uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for i, st := range per {
+			fmt.Fprintf(w, "%s{shard=\"%d\"} %d\n", name, i, v(st))
+		}
+	}
+	fmt.Fprintf(w, "# HELP wcc_shard_jobs Jobs currently registered on the shard.\n# TYPE wcc_shard_jobs gauge\n")
+	for i, st := range per {
+		fmt.Fprintf(w, "wcc_shard_jobs{shard=\"%d\"} %d\n", i, st.Jobs)
+	}
+	shardCounter("wcc_shard_samples_ingested_total", "Telemetry samples accepted by the shard.",
+		func(st shard.Stats) uint64 { return st.Samples })
+	shardCounter("wcc_shard_classifications_total", "Per-job classifications produced by the shard's ticks.",
+		func(st shard.Stats) uint64 { return st.Classifications })
+	shardCounter("wcc_shard_ticks_total", "Completed inference passes on the shard.",
+		func(st shard.Stats) uint64 { return st.Ticks })
+	shardCounter("wcc_shard_jobs_evicted_total", "Jobs removed from the shard's registry.",
+		func(st shard.Stats) uint64 { return st.Evictions })
 }
 
 // quantile returns the nearest-rank q-quantile of sorted durations.

@@ -1,10 +1,14 @@
-// Package server exposes a fleet.Monitor over HTTP — the network boundary
-// of the paper's deployment scenario (§VI): collectors on other machines
-// feed telemetry in, operators and dashboards read classifications out, and
-// the serving process keeps hot-swapping refreshed model artifacts
-// underneath without dropping either side.
+// Package server exposes a fleet over HTTP — the network boundary of the
+// paper's deployment scenario (§VI): collectors on other machines feed
+// telemetry in, operators and dashboards read classifications out, and the
+// serving process keeps hot-swapping refreshed model artifacts underneath
+// without dropping either side. The fleet behind the API is anything
+// implementing the Monitor contract: a single fleet.Monitor, or the
+// sharded shard.Core, which the serving layer recognises and drives with
+// one independent tick loop per shard plus shard-labelled /metrics.
 //
-// The API is deliberately small:
+// docs/API.md is the complete request/response reference for this API.
+// The surface is deliberately small:
 //
 //	POST   /v1/ingest               NDJSON batch ingest, one sample per line:
 //	                                {"job":17,"values":[v0,...,v6]}
@@ -39,17 +43,61 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/shard"
+	"repro/internal/stream"
+)
+
+// Monitor is the fleet contract the serving layer drives: concurrent
+// sample ingest, batched inference ticks, prediction and snapshot reads,
+// job lifecycle, zero-downtime model swaps, and the counters /metrics
+// exports. *fleet.Monitor (one registry, one tick loop) and *shard.Core
+// (N monitor shards ticking independently) both implement it.
+type Monitor interface {
+	Ingest(jobID int, sample []float64) error
+	Tick() (fleet.TickStats, error)
+	SwapClassifier(model stream.Classifier) error
+	Prediction(jobID int) (*stream.Prediction, bool)
+	EndJob(jobID int) (*stream.Prediction, bool)
+	EvictIdle(maxIdle time.Duration) int
+	Snapshot() []fleet.JobInfo
+	Window() int
+	Sensors() int
+	NumJobs() int
+	SamplesIngested() uint64
+	Classifications() uint64
+	Ticks() uint64
+	Swaps() uint64
+	Evictions() uint64
+}
+
+// Sharded is the optional extension a sharded fleet offers. When the
+// configured Monitor implements it, the serving layer runs one tick loop
+// per shard on its own goroutine — no whole-fleet barrier — and /metrics
+// grows shard-labelled series from ShardStats.
+type Sharded interface {
+	Monitor
+	NumShards() int
+	TickShard(i int) (fleet.TickStats, error)
+	ShardStats() []shard.Stats
+}
+
+var (
+	_ Monitor = (*fleet.Monitor)(nil)
+	_ Sharded = (*shard.Core)(nil)
 )
 
 // Config sizes an HTTP serving layer over a fleet monitor.
 type Config struct {
-	// Monitor is the fleet being served. Required.
-	Monitor *fleet.Monitor
+	// Monitor is the fleet being served — a *fleet.Monitor or, for
+	// per-shard tick loops and shard-labelled metrics, a *shard.Core.
+	// Required.
+	Monitor Monitor
 	// ClassNames optionally maps class indices to workload names in
 	// prediction responses.
 	ClassNames []string
@@ -96,12 +144,13 @@ const maxReportedLineErrors = 64
 // Server is the HTTP serving layer. Build with New, mount Handler on an
 // http.Server, and Close after the listener has shut down.
 type Server struct {
-	cfg   Config
-	m     *fleet.Monitor
-	mux   *http.ServeMux
-	queue chan *ingestBatch
-	stop  chan struct{}
-	start time.Time
+	cfg     Config
+	m       Monitor
+	sharded Sharded // non-nil when m is a sharded fleet
+	mux     *http.ServeMux
+	queue   chan *ingestBatch
+	stop    chan struct{}
+	start   time.Time
 
 	inflight  sync.WaitGroup // handlers between stop-check and result
 	workerWG  sync.WaitGroup
@@ -112,11 +161,14 @@ type Server struct {
 	throttled atomic.Uint64 // 429 responses
 	lineErrs  atomic.Uint64 // rejected ingest lines
 
-	tickMu      sync.Mutex
-	tickDur     [tickWindow]time.Duration
-	tickN       uint64
-	tickErrs    uint64
-	lastTickErr string
+	tickMu   sync.Mutex
+	tickDur  [tickWindow]time.Duration
+	tickN    uint64
+	tickErrs uint64
+	// lastErrs holds each tick loop's most recent error ("" after a
+	// success): one slot for a single monitor, one per shard otherwise,
+	// so one healthy shard cannot clear another's failure.
+	lastErrs []string
 
 	scrapeMu    sync.Mutex
 	lastScrape  time.Time
@@ -177,6 +229,12 @@ func New(cfg Config) (*Server, error) {
 		stop:  make(chan struct{}),
 		start: time.Now(),
 	}
+	tickLoops := 1
+	if sm, ok := cfg.Monitor.(Sharded); ok {
+		s.sharded = sm
+		tickLoops = sm.NumShards()
+	}
+	s.lastErrs = make([]string, tickLoops)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleSnapshot)
@@ -189,8 +247,10 @@ func New(cfg Config) (*Server, error) {
 		s.workerWG.Add(1)
 		go s.worker()
 	}
-	s.loopWG.Add(1)
-	go s.tickLoop()
+	for i := 0; i < tickLoops; i++ {
+		s.loopWG.Add(1)
+		go s.tickLoop(i)
+	}
 	if cfg.EvictAfter > 0 {
 		s.loopWG.Add(1)
 		go s.evictLoop()
@@ -216,7 +276,7 @@ func (s *Server) Close() error {
 		close(s.queue)
 		s.workerWG.Wait()
 		s.loopWG.Wait()
-		s.closeErr = s.runTick()
+		s.closeErr = s.finalTick()
 	})
 	return s.closeErr
 }
@@ -245,7 +305,10 @@ func (s *Server) worker() {
 	}
 }
 
-func (s *Server) tickLoop() {
+// tickLoop drives one inference loop. A single monitor gets loop 0 over
+// the whole fleet; a sharded fleet gets one loop per shard, each on its
+// own ticker, so a slow shard's batch delays nobody else's cadence.
+func (s *Server) tickLoop(loop int) {
 	defer s.loopWG.Done()
 	t := time.NewTicker(s.cfg.TickEvery)
 	defer t.Stop()
@@ -254,30 +317,76 @@ func (s *Server) tickLoop() {
 		case <-s.stop:
 			return
 		case <-t.C:
-			if err := s.runTick(); err != nil {
-				s.logf("tick error: %v", err)
+			if err := s.runTick(loop); err != nil {
+				s.logf("tick error (loop %d): %v", loop, err)
 			}
 		}
 	}
 }
 
+// finalTick is the drain's whole-fleet flush. A sharded fleet is ticked
+// shard by shard so each outcome lands in its own lastErrs slot — the
+// fullTick path would misattribute a cross-shard error to loop 0.
+func (s *Server) finalTick() error {
+	if s.sharded == nil {
+		return s.runTick(fullTick)
+	}
+	var errs []error
+	for i := 0; i < s.sharded.NumShards(); i++ {
+		if err := s.runTick(i); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
 // runTick performs one timed inference pass and records its latency and
-// error state for /metrics and /healthz.
-func (s *Server) runTick() error {
+// error state for /metrics and /healthz. loop selects the shard to tick
+// on a sharded fleet; fullTick runs the unsharded whole-fleet pass.
+const fullTick = -1
+
+func (s *Server) runTick(loop int) error {
 	t0 := time.Now()
-	_, err := s.m.Tick()
+	var err error
+	if s.sharded != nil && loop != fullTick {
+		_, err = s.sharded.TickShard(loop)
+	} else {
+		_, err = s.m.Tick()
+	}
 	d := time.Since(t0)
+	slot := 0
+	if loop > 0 {
+		slot = loop
+	}
 	s.tickMu.Lock()
 	s.tickDur[s.tickN%tickWindow] = d
 	s.tickN++
 	if err != nil {
 		s.tickErrs++
-		s.lastTickErr = err.Error()
+		s.lastErrs[slot] = err.Error()
 	} else {
-		s.lastTickErr = ""
+		s.lastErrs[slot] = ""
 	}
 	s.tickMu.Unlock()
 	return err
+}
+
+// lastTickErr joins every tick loop's most recent error state; "" means
+// all loops' last passes succeeded.
+func (s *Server) lastTickErr() string {
+	s.tickMu.Lock()
+	defer s.tickMu.Unlock()
+	var parts []string
+	for loop, e := range s.lastErrs {
+		if e == "" {
+			continue
+		}
+		if s.sharded != nil {
+			e = fmt.Sprintf("shard %d: %s", loop, e)
+		}
+		parts = append(parts, e)
+	}
+	return strings.Join(parts, "; ")
 }
 
 func (s *Server) evictLoop() {
@@ -496,18 +605,19 @@ func (s *Server) handleEndJob(w http.ResponseWriter, r *http.Request) {
 // healthResponse is the liveness read; Window and Sensors tell a load
 // driver what sample shape the fleet expects.
 type healthResponse struct {
-	Status        string  `json:"status"`
-	Jobs          int     `json:"jobs"`
-	Window        int     `json:"window"`
-	Sensors       int     `json:"sensors"`
+	Status  string `json:"status"`
+	Jobs    int    `json:"jobs"`
+	Window  int    `json:"window"`
+	Sensors int    `json:"sensors"`
+	// Shards is the serving core's shard count; absent (0) when a single
+	// unsharded monitor serves the fleet.
+	Shards        int     `json:"shards,omitempty"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	LastTickError string  `json:"last_tick_error,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.tickMu.Lock()
-	lastErr := s.lastTickErr
-	s.tickMu.Unlock()
+	lastErr := s.lastTickErr()
 	resp := healthResponse{
 		Status:        "ok",
 		Jobs:          s.m.NumJobs(),
@@ -515,6 +625,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Sensors:       s.m.Sensors(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		LastTickError: lastErr,
+	}
+	if s.sharded != nil {
+		resp.Shards = s.sharded.NumShards()
 	}
 	code := http.StatusOK
 	if lastErr != "" {

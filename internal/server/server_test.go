@@ -287,7 +287,7 @@ func TestReadEndpoints(t *testing.T) {
 	if resp, ir := postNDJSON(t, ts.URL, strings.Join(lines, "\n")); resp.StatusCode != 200 || ir.Accepted != testWindow {
 		t.Fatalf("ingest: %d / %+v", resp.StatusCode, ir)
 	}
-	if err := s.runTick(); err != nil {
+	if err := s.runTick(fullTick); err != nil {
 		t.Fatal(err)
 	}
 

@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"repro/internal/artifact"
-	"repro/internal/fleet"
 	"repro/internal/preprocess"
 	"repro/internal/stream"
 )
@@ -19,8 +18,10 @@ type WatchConfig struct {
 	Path string
 	// Every is the poll interval (default 2s).
 	Every time.Duration
-	// Monitor receives the swapped classifier.
-	Monitor *fleet.Monitor
+	// Monitor receives the swapped classifier — a single monitor, or a
+	// sharded core whose SwapClassifier installs the artifact on every
+	// shard atomically.
+	Monitor Monitor
 	// Window, Sensors and Scaler are the serving fleet's shape and
 	// preprocessing statistics; a replacement artifact must match all
 	// three, because per-job window state survives the swap.

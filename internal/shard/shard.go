@@ -1,0 +1,370 @@
+// Package shard partitions a live fleet across independent fleet.Monitor
+// shards so the serving path scales with the machine's cores instead of
+// with one lock.
+//
+// A single fleet.Monitor serialises every batched inference pass on one
+// tick mutex and walks one registry, so past a point more cores buy no
+// more throughput. The Core in this package owns N monitors (default
+// GOMAXPROCS) and
+//
+//   - routes every job to one shard by a stable hash of its ID — a job's
+//     samples, predictions and lifecycle all live on that shard, so per-job
+//     ordering guarantees are exactly those of a single monitor;
+//   - ticks shards independently: Tick fans one synchronised pass out to
+//     every shard on its own goroutine, TickShard drives one shard alone,
+//     and Run keeps one tick loop per shard running on independent
+//     goroutines until stopped;
+//   - aggregates reads: Snapshot merges the per-shard registries into one
+//     ID-sorted view, Tick merges per-shard TickStats, and the counters
+//     (SamplesIngested, Classifications, Ticks, …) sum across shards;
+//   - swaps models atomically fleet-wide: SwapClassifier installs one
+//     classifier on every shard while holding the write side of a lock
+//     whose read side every tick holds, so a tick anywhere observes either
+//     the old model on all shards or the new one on all shards — never a
+//     torn generation.
+//
+// Predictions are bit-identical to a single fleet.Monitor fed the same
+// per-job streams: routing only changes which registry a job lives in, and
+// fleet ticks score each window independently of its batch. The classifier
+// is shared by all shards and must therefore be safe for concurrent
+// PredictProba/PredictProbaBatch calls; the serving models (forest, xgb)
+// read only fitted state and allocate per call, so they qualify.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/preprocess"
+	"repro/internal/stream"
+)
+
+// Config sizes a sharded serving core.
+type Config struct {
+	// Window and Sensors give the per-job sliding-window shape (the
+	// challenge's 540×7).
+	Window  int
+	Sensors int
+	// Scaler holds the offline training-time statistics every job's window
+	// is standardised with (see stream.NewWindowedEmbedder).
+	Scaler *preprocess.StandardScaler
+	// Model classifies embedded windows on every shard. Shards tick
+	// concurrently, so it must tolerate concurrent predict calls.
+	Model stream.Classifier
+	// Shards is the monitor shard count (default GOMAXPROCS, minimum 1).
+	// The count is fixed at construction; job routing depends on it.
+	Shards int
+	// RegistryShards is each monitor's internal registry shard count
+	// (0 = the fleet default). Mostly a testing knob.
+	RegistryShards int
+}
+
+// Core is a sharded fleet: N independent fleet.Monitor shards behind the
+// same serving contract a single monitor offers. All methods are safe for
+// concurrent use. The shards belong to the Core — driving one of the
+// underlying monitors directly would bypass the swap lock that keeps
+// cross-shard model generations consistent.
+type Core struct {
+	monitors []*fleet.Monitor
+	window   int
+	sensors  int
+
+	// swapMu orders ticks against model swaps: every inference pass holds
+	// the read side, SwapClassifier holds the write side while installing
+	// the new model on all shards. Ticks on different shards proceed
+	// concurrently (read locks share); no tick overlaps an installation.
+	swapMu sync.RWMutex
+	swaps  atomic.Uint64
+}
+
+// New validates the configuration and builds an empty sharded core.
+func New(cfg Config) (*Core, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	c := &Core{
+		monitors: make([]*fleet.Monitor, cfg.Shards),
+		window:   cfg.Window,
+		sensors:  cfg.Sensors,
+	}
+	for i := range c.monitors {
+		m, err := fleet.New(fleet.Config{
+			Window:  cfg.Window,
+			Sensors: cfg.Sensors,
+			Scaler:  cfg.Scaler,
+			Model:   cfg.Model,
+			Shards:  cfg.RegistryShards,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.monitors[i] = m
+	}
+	return c, nil
+}
+
+// NumShards returns the monitor shard count fixed at construction.
+func (c *Core) NumShards() int { return len(c.monitors) }
+
+// ShardOf returns the shard index the job routes to. The mapping is a
+// stable function of the job ID and the shard count only — the same job
+// always lands on the same shard for the life of the Core.
+func (c *Core) ShardOf(jobID int) int {
+	// splitmix64 finalizer: adjacent IDs spread uniformly across shards.
+	h := uint64(jobID)
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return int(h % uint64(len(c.monitors)))
+}
+
+// Ingest feeds one telemetry sample for the given job to the job's shard,
+// creating the job there on first sight. Safe for concurrent use from any
+// number of goroutines, including concurrently with ticks and swaps.
+func (c *Core) Ingest(jobID int, sample []float64) error {
+	return c.monitors[c.ShardOf(jobID)].Ingest(jobID, sample)
+}
+
+// Tick runs one synchronised inference pass over the whole fleet: every
+// shard ticks on its own goroutine, and the per-shard TickStats are merged.
+// A shard error does not stop the other shards; the joined errors are
+// returned alongside the stats of the shards that succeeded. The model
+// generation is consistent across the pass — a concurrent SwapClassifier
+// takes effect entirely before or entirely after it.
+func (c *Core) Tick() (fleet.TickStats, error) {
+	c.swapMu.RLock()
+	defer c.swapMu.RUnlock()
+	stats := make([]fleet.TickStats, len(c.monitors))
+	errs := make([]error, len(c.monitors))
+	var wg sync.WaitGroup
+	for i, m := range c.monitors {
+		wg.Add(1)
+		go func(i int, m *fleet.Monitor) {
+			defer wg.Done()
+			stats[i], errs[i] = m.Tick()
+		}(i, m)
+	}
+	wg.Wait()
+	return mergeTickStats(stats), errors.Join(errs...)
+}
+
+// TickShard runs one inference pass over a single shard. Different shards
+// may tick concurrently; per-shard tick loops built on this — the HTTP
+// serving layer runs its own, and Run packages the same shape for
+// in-process callers — avoid the whole-fleet barrier of Tick.
+func (c *Core) TickShard(i int) (fleet.TickStats, error) {
+	if i < 0 || i >= len(c.monitors) {
+		return fleet.TickStats{}, fmt.Errorf("shard: no shard %d (have %d)", i, len(c.monitors))
+	}
+	c.swapMu.RLock()
+	defer c.swapMu.RUnlock()
+	return c.monitors[i].Tick()
+}
+
+// mergeTickStats sums per-shard tick stats into one fleet-wide view.
+func mergeTickStats(stats []fleet.TickStats) fleet.TickStats {
+	var out fleet.TickStats
+	for _, st := range stats {
+		out.Classified += st.Classified
+		out.Pending += st.Pending
+	}
+	return out
+}
+
+// ShardTick reports one shard inference pass to a Run observer.
+type ShardTick struct {
+	Shard int
+	Stats fleet.TickStats
+	Dur   time.Duration
+	Err   error
+}
+
+// Run drives one tick loop per shard, each on its own goroutine with its
+// own ticker, so a slow shard delays nobody else. It blocks until stop is
+// closed and every loop has exited. every ≤ 0 selects a 10ms cadence.
+// observe, when non-nil, receives every pass's outcome; it is called
+// concurrently from the per-shard goroutines and must be safe for that.
+func (c *Core) Run(stop <-chan struct{}, every time.Duration, observe func(ShardTick)) {
+	if every <= 0 {
+		every = 10 * time.Millisecond
+	}
+	var wg sync.WaitGroup
+	for i := range c.monitors {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t := time.NewTicker(every)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					t0 := time.Now()
+					stats, err := c.TickShard(i)
+					if observe != nil {
+						observe(ShardTick{Shard: i, Stats: stats, Dur: time.Since(t0), Err: err})
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// SwapClassifier atomically installs a new model on every shard — the
+// fleet-wide zero-downtime refresh. It holds the write side of the swap
+// lock for the whole installation, so no inference pass anywhere overlaps
+// it: every tick, on every shard, scores with either the old model or the
+// new one, never a mix. Ingest never touches the model and proceeds
+// untouched throughout. Per-job window state is preserved; the new model
+// must consume the same feature layout (and scaler statistics) the shards'
+// embedders were built with.
+func (c *Core) SwapClassifier(model stream.Classifier) error {
+	if model == nil {
+		return errors.New("shard: cannot swap in a nil model")
+	}
+	c.swapMu.Lock()
+	defer c.swapMu.Unlock()
+	for _, m := range c.monitors {
+		// The only monitor-level swap failure is a nil model, checked
+		// above, so the loop cannot strand shards on mixed generations.
+		if err := m.SwapClassifier(model); err != nil {
+			return err
+		}
+	}
+	c.swaps.Add(1)
+	return nil
+}
+
+// Swaps returns the number of completed fleet-wide classifier swaps.
+func (c *Core) Swaps() uint64 { return c.swaps.Load() }
+
+// Prediction returns the most recent classification for the job from its
+// shard, or false if the job is unknown or not yet classified.
+func (c *Core) Prediction(jobID int) (*stream.Prediction, bool) {
+	return c.monitors[c.ShardOf(jobID)].Prediction(jobID)
+}
+
+// EndJob removes a finished job from its shard and returns the job's final
+// published prediction (nil if it was never classified) plus whether the
+// job was registered at all.
+func (c *Core) EndJob(jobID int) (*stream.Prediction, bool) {
+	return c.monitors[c.ShardOf(jobID)].EndJob(jobID)
+}
+
+// EvictIdle removes every job, on every shard, whose most recent
+// successful sample is at least maxIdle old, and reports how many were
+// evicted. Safe to call concurrently with ingest and ticks.
+func (c *Core) EvictIdle(maxIdle time.Duration) int {
+	n := 0
+	for _, m := range c.monitors {
+		n += m.EvictIdle(maxIdle)
+	}
+	return n
+}
+
+// Snapshot merges every shard's read-only registry view into one slice
+// sorted by job ID. Each shard's rows are internally consistent; rows from
+// different shards may be observed at slightly different instants relative
+// to concurrent ingest, exactly as a single monitor's registry shards are.
+func (c *Core) Snapshot() []fleet.JobInfo {
+	var out []fleet.JobInfo
+	for _, m := range c.monitors {
+		out = append(out, m.Snapshot()...)
+	}
+	// Shards hold disjoint jobs, so a plain re-sort of the concatenation
+	// is a correct merge.
+	sort.Slice(out, func(i, j int) bool { return out[i].JobID < out[j].JobID })
+	return out
+}
+
+// Stats is one shard's counters, for shard-labelled observability.
+type Stats struct {
+	// Jobs is the shard's currently registered job count.
+	Jobs int
+	// Samples counts the shard's successfully ingested samples.
+	Samples uint64
+	// Classifications counts per-job classifications the shard's ticks
+	// produced.
+	Classifications uint64
+	// Ticks counts the shard's completed inference passes.
+	Ticks uint64
+	// Evictions counts jobs removed from the shard (EndJob or EvictIdle).
+	Evictions uint64
+}
+
+// ShardStats returns one Stats row per shard, indexed by shard.
+func (c *Core) ShardStats() []Stats {
+	out := make([]Stats, len(c.monitors))
+	for i, m := range c.monitors {
+		out[i] = Stats{
+			Jobs:            m.NumJobs(),
+			Samples:         m.SamplesIngested(),
+			Classifications: m.Classifications(),
+			Ticks:           m.Ticks(),
+			Evictions:       m.Evictions(),
+		}
+	}
+	return out
+}
+
+// Window returns the per-job sliding-window length the core was built with.
+func (c *Core) Window() int { return c.window }
+
+// Sensors returns the per-sample sensor count the core was built with.
+func (c *Core) Sensors() int { return c.sensors }
+
+// NumJobs counts registered jobs across all shards.
+func (c *Core) NumJobs() int {
+	n := 0
+	for _, m := range c.monitors {
+		n += m.NumJobs()
+	}
+	return n
+}
+
+// SamplesIngested sums successfully ingested samples across all shards.
+func (c *Core) SamplesIngested() uint64 {
+	var n uint64
+	for _, m := range c.monitors {
+		n += m.SamplesIngested()
+	}
+	return n
+}
+
+// Classifications sums per-job classifications across all shards.
+func (c *Core) Classifications() uint64 {
+	var n uint64
+	for _, m := range c.monitors {
+		n += m.Classifications()
+	}
+	return n
+}
+
+// Ticks sums completed per-shard inference passes across all shards; one
+// whole-fleet Tick therefore advances it by NumShards.
+func (c *Core) Ticks() uint64 {
+	var n uint64
+	for _, m := range c.monitors {
+		n += m.Ticks()
+	}
+	return n
+}
+
+// Evictions sums jobs removed from the registries across all shards.
+func (c *Core) Evictions() uint64 {
+	var n uint64
+	for _, m := range c.monitors {
+		n += m.Evictions()
+	}
+	return n
+}

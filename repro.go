@@ -12,10 +12,14 @@
 //   - RunExperiment: regenerate a paper table by name.
 //   - NewFleet: a fleet monitor serving the trained model over live
 //     telemetry from many concurrent jobs (cmd/wccserve drives it).
-//   - NewServer: the HTTP serving layer over a fleet monitor — NDJSON
+//   - NewShardedFleet: the same fleet partitioned across independent
+//     monitor shards with per-shard tick loops — the serving core that
+//     scales with the machine's cores instead of one lock.
+//   - NewServer: the HTTP serving layer over either fleet — NDJSON
 //     batch ingest with bounded-queue backpressure, prediction reads,
-//     health and Prometheus-style metrics, graceful drain (wccserve
-//     -listen serves it, cmd/wccload load-tests it).
+//     health and Prometheus-style metrics (shard-labelled over a sharded
+//     core), graceful drain (wccserve -listen serves it, cmd/wccload
+//     load-tests it; docs/API.md is the request/response reference).
 //   - SaveModel / LoadModel: persist a trained RF-Cov pipeline as a
 //     versioned .wcc artifact (model + scaler + provenance) and restore it,
 //     so serving starts in milliseconds instead of a training run;
@@ -41,6 +45,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/preprocess"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
 )
@@ -138,6 +143,22 @@ func NewFleet(ds *Dataset, res *RFCovResult, shards int) (*fleet.Monitor, error)
 	})
 }
 
+// NewShardedFleet builds the sharded serving core over the trained model:
+// jobs are hash-routed to independent monitor shards (shards ≤ 0 selects
+// GOMAXPROCS) that tick on independent goroutines, classifier hot-swaps
+// install atomically on every shard, and predictions stay bit-identical to
+// a single NewFleet monitor fed the same streams — sharding changes
+// throughput, not predictions.
+func NewShardedFleet(ds *Dataset, res *RFCovResult, shards int) (*shard.Core, error) {
+	return shard.New(shard.Config{
+		Window:  ds.Challenge.Train.X.T,
+		Sensors: ds.Challenge.Train.X.C,
+		Scaler:  res.Scaler,
+		Model:   res.Model,
+		Shards:  shards,
+	})
+}
+
 // NewServer wraps a fleet monitor in the HTTP serving layer: NDJSON batch
 // ingest with per-request error accounting and bounded-queue backpressure
 // (429 + Retry-After), per-job prediction reads and a fleet snapshot, job
@@ -147,9 +168,11 @@ func NewFleet(ds *Dataset, res *RFCovResult, shards int) (*fleet.Monitor, error)
 // the listener shuts down — the final inference tick flushes pending
 // windows, so a drained stream's last samples still produce predictions.
 // classNames optionally labels predictions; tickEvery ≤ 0 selects the
-// default inference cadence. For the full knob set import internal/server
+// default inference cadence. m is a *fleet.Monitor or a *shard.Core — over
+// a sharded core the layer runs one tick loop per shard and labels
+// /metrics by shard. For the full knob set import internal/server
 // directly.
-func NewServer(m *fleet.Monitor, classNames []string, tickEvery time.Duration) (*server.Server, error) {
+func NewServer(m server.Monitor, classNames []string, tickEvery time.Duration) (*server.Server, error) {
 	return server.New(server.Config{Monitor: m, ClassNames: classNames, TickEvery: tickEvery})
 }
 
@@ -217,6 +240,19 @@ func (lm *LoadedModel) Classifier() stream.Classifier {
 // training-time pipeline would. shards ≤ 0 selects the default shard count.
 func (lm *LoadedModel) NewFleet(shards int) (*fleet.Monitor, error) {
 	return fleet.New(fleet.Config{
+		Window:  lm.Artifact.Meta.Window,
+		Sensors: lm.Artifact.Meta.Sensors,
+		Scaler:  lm.Artifact.Scaler,
+		Model:   lm.Classifier(),
+		Shards:  shards,
+	})
+}
+
+// NewShardedFleet builds the sharded serving core straight from the
+// artifact, the zero-training counterpart of NewShardedFleet: window
+// shape and scaler come from the artifact, shards ≤ 0 selects GOMAXPROCS.
+func (lm *LoadedModel) NewShardedFleet(shards int) (*shard.Core, error) {
+	return shard.New(shard.Config{
 		Window:  lm.Artifact.Meta.Window,
 		Sensors: lm.Artifact.Meta.Sensors,
 		Scaler:  lm.Artifact.Scaler,

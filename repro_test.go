@@ -134,6 +134,89 @@ func TestFleetFacade(t *testing.T) {
 	}
 }
 
+// TestShardedFleetFacade checks the sharded serving core built by the
+// facade classifies the same replay bit-identically to the single-monitor
+// facade fleet: sharding changes throughput, never predictions.
+func TestShardedFleetFacade(t *testing.T) {
+	ds, err := repro.GenerateDataset("60-middle-1", 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := repro.TrainRFCov(ds, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := repro.NewFleet(ds, res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := repro.NewShardedFleet(ds, res, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := core.NumShards(); got != 4 {
+		t.Fatalf("NumShards = %d, want 4", got)
+	}
+
+	var live []*telemetry.Job
+	for _, j := range ds.Sim.Jobs() {
+		if j.Duration >= 62 {
+			live = append(live, j)
+		}
+		if len(live) == 4 {
+			break
+		}
+	}
+	if len(live) == 0 {
+		t.Fatal("no streamable jobs at this scale")
+	}
+	r, err := telemetry.NewReplay(live, 0, 0, 61.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		s, ok := r.Next()
+		if !ok {
+			break
+		}
+		if err := single.Ingest(s.JobID, s.Values); err != nil {
+			t.Fatal(err)
+		}
+		if err := core.Ingest(s.JobID, s.Values); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := single.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := core.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Classified != len(live) {
+		t.Fatalf("sharded core classified %d jobs, want %d", stats.Classified, len(live))
+	}
+	for _, j := range live {
+		want, ok := single.Prediction(j.ID)
+		if !ok {
+			t.Fatalf("job %d: single monitor has no prediction", j.ID)
+		}
+		got, ok := core.Prediction(j.ID)
+		if !ok {
+			t.Fatalf("job %d: sharded core has no prediction", j.ID)
+		}
+		if got.Class != want.Class || got.Probability != want.Probability {
+			t.Fatalf("job %d: sharded (%d, %v) vs single (%d, %v)",
+				j.ID, got.Class, got.Probability, want.Class, want.Probability)
+		}
+		for c := range want.Probs {
+			if got.Probs[c] != want.Probs[c] {
+				t.Fatalf("job %d class %d: not bit-identical", j.ID, c)
+			}
+		}
+	}
+}
+
 // TestSaveLoadModelFacade pins the offline-train / online-serve split: a
 // model saved with SaveModel and restored with LoadModel must classify live
 // windows bit-identically to the in-memory pipeline, without any retraining.
