@@ -1,0 +1,237 @@
+// Command wccbenchdiff is the benchmark-regression guard behind CI's perf
+// step: it parses `go test -bench` output into a JSON benchmark report and
+// compares the report's throughput metrics against a committed baseline,
+// failing when any metric regressed past the allowed fraction.
+//
+// Usage:
+//
+//	go test -run '^$' -bench '...' . | tee bench.txt
+//	wccbenchdiff -parse bench.txt -out BENCH_PR.json -baseline BENCH_BASELINE.json
+//
+//	wccbenchdiff -parse bench.txt -out BENCH_BASELINE.json   # (re)record a baseline
+//
+// Only higher-is-better throughput metrics (units ending in "/s": the
+// serving benches' samples/s, cls/s, rows/s, plus go test's MB/s) are
+// guarded; ns/op and allocation metrics are recorded in the JSON for the
+// perf trajectory but not gated, because wall-clock per iteration is far
+// noisier across runners than sustained throughput. A benchmark present in
+// the baseline but missing from the report fails the comparison — a
+// silently dropped benchmark must not silently drop its guard.
+//
+// Absolute throughput only compares on comparable hardware, so each report
+// records its environment (Go version, GOMAXPROCS) and a comparison whose
+// environments differ runs in report-only mode: deltas print, missing
+// benchmarks still fail, but throughput regressions only warn, with an
+// instruction to re-record the baseline on the current hardware. Gating a
+// 25% budget across machine generations would otherwise hide real
+// regressions behind hardware speedups (or fail every run on slower
+// machines).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Report is the JSON benchmark record (BENCH_BASELINE.json / BENCH_PR.json).
+type Report struct {
+	// Go and MaxProcs record the environment the numbers came from.
+	Go       string `json:"go"`
+	MaxProcs int    `json:"maxprocs"`
+	// Benchmarks maps benchmark name (with the -N GOMAXPROCS suffix
+	// stripped) to its metrics, unit → value.
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+func main() {
+	parse := flag.String("parse", "", "file holding `go test -bench` output to parse (required)")
+	out := flag.String("out", "", "write the parsed report as JSON to this path")
+	baseline := flag.String("baseline", "", "baseline report to compare throughput metrics against")
+	maxRegress := flag.Float64("max-regress", 0.25, "fail when a guarded metric drops more than this fraction below the baseline")
+	flag.Parse()
+
+	if *parse == "" {
+		fmt.Fprintln(os.Stderr, "wccbenchdiff: -parse is required")
+		os.Exit(2)
+	}
+	if err := run(*parse, *out, *baseline, *maxRegress); err != nil {
+		fmt.Fprintln(os.Stderr, "wccbenchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(parsePath, outPath, baselinePath string, maxRegress float64) error {
+	raw, err := os.ReadFile(parsePath)
+	if err != nil {
+		return err
+	}
+	report, err := parseBenchOutput(string(raw))
+	if err != nil {
+		return err
+	}
+	if len(report.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark result lines found in %s", parsePath)
+	}
+	if outPath != "" {
+		js, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(js, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d benchmark entries to %s\n", len(report.Benchmarks), outPath)
+	}
+	if baselinePath == "" {
+		return nil
+	}
+	base, err := readReport(baselinePath)
+	if err != nil {
+		return err
+	}
+	return compare(base, report, maxRegress)
+}
+
+func readReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// benchLine matches one `go test -bench` result line:
+//
+//	BenchmarkName/sub-8   	     123	   9876 ns/op	  4567 samples/s
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+
+// parseBenchOutput extracts every benchmark result line's metrics.
+func parseBenchOutput(text string) (*Report, error) {
+	report := &Report{
+		Go:         runtime.Version(),
+		MaxProcs:   runtime.GOMAXPROCS(0),
+		Benchmarks: map[string]map[string]float64{},
+	}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name, rest := m[1], m[3]
+		fields := strings.Fields(rest)
+		metrics := map[string]float64{}
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %s: bad metric value %q", name, fields[i])
+			}
+			metrics[fields[i+1]] = v
+		}
+		if len(metrics) > 0 {
+			report.Benchmarks[name] = metrics
+		}
+	}
+	return report, sc.Err()
+}
+
+// guarded reports whether a metric unit is a gated throughput metric.
+func guarded(unit string) bool { return strings.HasSuffix(unit, "/s") }
+
+// compare checks every guarded baseline metric against the current report.
+func compare(base, cur *Report, maxRegress float64) error {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	envMatch := base.Go == cur.Go && base.MaxProcs == cur.MaxProcs
+	if !envMatch {
+		fmt.Printf("WARNING: baseline environment (%s, GOMAXPROCS %d) differs from this run (%s, GOMAXPROCS %d);\n"+
+			"         throughput is not comparable across hardware, so regressions are reported but NOT gated.\n"+
+			"         Re-record the baseline on this hardware to arm the guard:\n"+
+			"         go test -run '^$' -bench ... . > bench.txt && wccbenchdiff -parse bench.txt -out BENCH_BASELINE.json\n",
+			base.Go, base.MaxProcs, cur.Go, cur.MaxProcs)
+	}
+
+	var failures []string
+	var regressions int
+	checked := 0
+	for _, name := range names {
+		curMetrics, ok := cur.Benchmarks[name]
+		hasGuarded := false
+		units := make([]string, 0, len(base.Benchmarks[name]))
+		for unit := range base.Benchmarks[name] {
+			if guarded(unit) {
+				hasGuarded = true
+			}
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		if !hasGuarded {
+			continue
+		}
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: in baseline but missing from this run", name))
+			continue
+		}
+		for _, unit := range units {
+			if !guarded(unit) {
+				continue
+			}
+			baseV := base.Benchmarks[name][unit]
+			curV, ok := curMetrics[unit]
+			if !ok {
+				failures = append(failures, fmt.Sprintf("%s: metric %s missing from this run", name, unit))
+				continue
+			}
+			checked++
+			delta := 0.0
+			if baseV > 0 {
+				delta = curV/baseV - 1
+			}
+			status := "ok"
+			if baseV > 0 && curV < baseV*(1-maxRegress) {
+				regressions++
+				if envMatch {
+					status = "REGRESSED"
+					failures = append(failures, fmt.Sprintf("%s %s: %.4g vs baseline %.4g (%+.1f%%, limit -%.0f%%)",
+						name, unit, curV, baseV, 100*delta, 100*maxRegress))
+				} else {
+					status = "regressed (not gated: baseline from different hardware)"
+				}
+			}
+			fmt.Printf("%-60s %-10s %12.4g  baseline %12.4g  %+7.1f%%  %s\n",
+				name, unit, curV, baseV, 100*delta, status)
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("baseline has no guarded throughput metrics to compare")
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("throughput regression past %.0f%%:\n  %s",
+			100*maxRegress, strings.Join(failures, "\n  "))
+	}
+	switch {
+	case !envMatch:
+		fmt.Printf("benchmark guard in report-only mode: %d throughput metrics compared, %d past the %.0f%% budget (not gated across hardware)\n",
+			checked, regressions, 100*maxRegress)
+	default:
+		fmt.Printf("benchmark guard passed: %d throughput metrics within %.0f%% of baseline\n", checked, 100*maxRegress)
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `
+goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R)
+BenchmarkServingForest/single256-4         	     100	  11859650 ns/op	     21586 rows/s
+BenchmarkServingForest/batched256-4        	     272	   4404563 ns/op	     58122 rows/s
+BenchmarkFleetThroughput/jobs256-4         	       7	 160393834 ns/op	   5114649 samples/s	     11403 cls/s
+BenchmarkServerIngestHTTP-4                	     326	   3699214 ns/op	  18.09 MB/s	     69204 samples/s
+PASS
+ok  	repro	12.576s
+`
+
+func parsed(t *testing.T) *Report {
+	t.Helper()
+	r, err := parseBenchOutput(sampleOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	r := parsed(t)
+	if len(r.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(r.Benchmarks))
+	}
+	m, ok := r.Benchmarks["BenchmarkFleetThroughput/jobs256"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", r.Benchmarks)
+	}
+	if m["samples/s"] != 5114649 || m["cls/s"] != 11403 {
+		t.Fatalf("metrics wrong: %v", m)
+	}
+	if m["ns/op"] != 160393834 {
+		t.Fatalf("ns/op not recorded: %v", m)
+	}
+	if r.Benchmarks["BenchmarkServerIngestHTTP"]["MB/s"] != 18.09 {
+		t.Fatalf("MB/s not parsed: %v", r.Benchmarks["BenchmarkServerIngestHTTP"])
+	}
+}
+
+func TestComparePassesWithinTolerance(t *testing.T) {
+	base := parsed(t)
+	cur := parsed(t)
+	// 20% slower is inside the 25% budget.
+	cur.Benchmarks["BenchmarkServingForest/batched256"]["rows/s"] *= 0.80
+	if err := compare(base, cur, 0.25); err != nil {
+		t.Fatalf("within-tolerance run failed: %v", err)
+	}
+	// Faster is always fine.
+	cur.Benchmarks["BenchmarkFleetThroughput/jobs256"]["samples/s"] *= 3
+	if err := compare(base, cur, 0.25); err != nil {
+		t.Fatalf("faster run failed: %v", err)
+	}
+}
+
+func TestCompareFailsOnRegression(t *testing.T) {
+	base := parsed(t)
+	cur := parsed(t)
+	cur.Benchmarks["BenchmarkFleetThroughput/jobs256"]["samples/s"] *= 0.5
+	err := compare(base, cur, 0.25)
+	if err == nil {
+		t.Fatal("50% throughput regression passed the guard")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkFleetThroughput/jobs256 samples/s") {
+		t.Fatalf("failure does not name the regressed metric: %v", err)
+	}
+}
+
+func TestCompareFailsOnMissingBenchmark(t *testing.T) {
+	base := parsed(t)
+	cur := parsed(t)
+	delete(cur.Benchmarks, "BenchmarkServerIngestHTTP")
+	if err := compare(base, cur, 0.25); err == nil {
+		t.Fatal("dropped benchmark passed the guard")
+	}
+}
+
+func TestCompareIgnoresSlowerNsPerOp(t *testing.T) {
+	base := parsed(t)
+	cur := parsed(t)
+	// ns/op is recorded but not gated: only the "/s" throughput metrics
+	// guard the perf trajectory.
+	cur.Benchmarks["BenchmarkFleetThroughput/jobs256"]["ns/op"] *= 10
+	if err := compare(base, cur, 0.25); err != nil {
+		t.Fatalf("ns/op noise failed the guard: %v", err)
+	}
+}
+
+func TestCompareEnvMismatchReportsOnly(t *testing.T) {
+	base := parsed(t)
+	cur := parsed(t)
+	base.MaxProcs = cur.MaxProcs + 3 // baseline from different hardware
+	cur.Benchmarks["BenchmarkFleetThroughput/jobs256"]["samples/s"] *= 0.5
+	if err := compare(base, cur, 0.25); err != nil {
+		t.Fatalf("cross-hardware regression gated: %v", err)
+	}
+	// Structural failures still gate: a dropped benchmark is a guard hole
+	// on any hardware.
+	delete(cur.Benchmarks, "BenchmarkServerIngestHTTP")
+	if err := compare(base, cur, 0.25); err == nil {
+		t.Fatal("dropped benchmark passed in report-only mode")
+	}
+}
+
+func TestCompareEmptyBaseline(t *testing.T) {
+	empty := &Report{Benchmarks: map[string]map[string]float64{}}
+	if err := compare(empty, parsed(t), 0.25); err == nil {
+		t.Fatal("empty baseline compared successfully")
+	}
+}

@@ -135,10 +135,10 @@ func run(path string, stats bool) error {
 	return nil
 }
 
-// runArtifact prints a .wcc model artifact's metadata and section table
-// without decoding the model payload.
+// runArtifact prints a .wcc model artifact's metadata, drift calibration
+// and section table without decoding the model payload.
 func runArtifact(path string) error {
-	info, err := artifact.ReadInfo(path)
+	info, err := artifact.ReadInfoDetail(path)
 	if err != nil {
 		return err
 	}
@@ -167,6 +167,15 @@ func runArtifact(path string) error {
 	if len(m.ClassNames) > 0 {
 		fmt.Printf("  classes:   %d (%s, ...)\n", len(m.ClassNames),
 			strings.Join(m.ClassNames[:min(4, len(m.ClassNames))], ", "))
+	}
+	if d := info.Drift; d != nil {
+		fmt.Printf("  drift:     open-set rejection at quantile %.3g (min conf %.3f, min margin %.3f, max energy %.3f, T %.2g)",
+			d.Threshold.Quantile, d.Threshold.MinConf, d.Threshold.MinMargin,
+			d.Threshold.MaxEnergy, d.Threshold.Temperature)
+		if d.Feat != nil && d.Threshold.MaxFeatDist > 0 {
+			fmt.Printf("; feature gate over %d train rows (max distance %.3f)", d.Feat.Train.Rows, d.Threshold.MaxFeatDist)
+		}
+		fmt.Printf("; reference %d sensors x %d bins\n", d.Ref.Sensors(), d.Ref.Bins)
 	}
 	fmt.Println("  sections:")
 	for _, s := range info.Sections {

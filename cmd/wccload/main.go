@@ -39,6 +39,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/drift"
 	"repro/internal/telemetry"
 )
 
@@ -51,11 +52,13 @@ func main() {
 	seconds := flag.Float64("seconds", 120, "seconds of telemetry to replay per job (must exceed the server's window)")
 	batch := flag.Int("batch", 256, "NDJSON lines per ingest request")
 	conns := flag.Int("conns", runtime.GOMAXPROCS(0), "concurrent client connections; each fleet job is pinned to one connection")
+	unknownFrac := flag.Float64("unknown-frac", 0, "fraction of fleet jobs driven from out-of-distribution workload profiles; their rejection recall/precision is scored against the server's unknown verdicts")
 	flag.Parse()
 
 	if err := run(config{
 		addr: *addr, jobs: *jobs, scale: *scale, seed: *seed,
 		start: *start, seconds: *seconds, batch: *batch, conns: *conns,
+		unknownFrac: *unknownFrac,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "wccload:", err)
 		os.Exit(1)
@@ -70,6 +73,7 @@ type config struct {
 	start, seconds float64
 	batch          int
 	conns          int
+	unknownFrac    float64
 }
 
 // health mirrors the server's /healthz payload.
@@ -94,10 +98,18 @@ type ingestResponse struct {
 type snapshot struct {
 	Count int `json:"count"`
 	Jobs  []struct {
-		Job   int  `json:"job"`
-		Ready bool `json:"ready"`
-		Class *int `json:"class"`
+		Job     int   `json:"job"`
+		Ready   bool  `json:"ready"`
+		Class   *int  `json:"class"`
+		Unknown *bool `json:"unknown"`
 	} `json:"jobs"`
+}
+
+// driftState mirrors GET /v1/drift.
+type driftState struct {
+	Enabled  bool    `json:"enabled"`
+	Score    float64 `json:"score"`
+	Unknowns uint64  `json:"unknowns"`
 }
 
 // connStats accumulates one sender connection's observations.
@@ -146,18 +158,18 @@ func run(c config) error {
 	if len(sources) == 0 {
 		return fmt.Errorf("no simulated job runs past start %.0fs + the %.0fs window", c.start, windowSec)
 	}
-	if len(sources) > c.jobs {
-		sources = sources[:c.jobs]
-	}
-	replay, err := telemetry.NewReplay(sources, 0, c.start, c.start+c.seconds)
+	// Fleet jobs past mix.IDJobs replay out-of-distribution profiles, the
+	// same mix wccserve's demo mode drives; the server should reject them
+	// as unknown.
+	mix, err := telemetry.PlanFleetMix(sources, c.jobs, c.unknownFrac, c.seed)
 	if err != nil {
 		return err
 	}
-	fanout := make(map[int][]int, replay.NumJobs())
-	for k := 0; k < c.jobs; k++ {
-		src := sources[k%len(sources)]
-		fanout[src.ID] = append(fanout[src.ID], k)
+	replay, err := telemetry.NewReplay(mix.ReplaySources(), 0, c.start, c.start+c.seconds)
+	if err != nil {
+		return err
 	}
+	fanout := mix.Fanout
 
 	// Materialise each connection's request bodies up front, so the timed
 	// phase measures serving, not JSON assembly. Fleet job k is pinned to
@@ -210,8 +222,8 @@ func run(c config) error {
 	if hl.Shards > 0 {
 		serving = fmt.Sprintf("%d serving shards", hl.Shards)
 	}
-	fmt.Printf("driving %d fleet jobs over %d telemetry series into %s: %d samples in %d requests (%d-line batches) across %d connections\n",
-		c.jobs, len(sources), serving, totalSamples, requests, c.batch, c.conns)
+	fmt.Printf("driving %d fleet jobs (%d out-of-distribution) over %d telemetry series into %s: %d samples in %d requests (%d-line batches) across %d connections\n",
+		c.jobs, mix.UnknownJobs, replay.NumJobs(), serving, totalSamples, requests, c.batch, c.conns)
 
 	stats := make([]connStats, c.conns)
 	var wg sync.WaitGroup
@@ -252,27 +264,61 @@ func run(c config) error {
 		return fmt.Errorf("server accepted %d of %d samples", all.accepted, totalSamples)
 	}
 
-	// Read the fleet back and score it against the simulation's truth.
+	// Read the fleet back and score it against the simulation's truth:
+	// classification accuracy over the labelled jobs, unknown-rejection
+	// recall/precision over the out-of-distribution jobs.
 	snap, err := fetchSnapshot(client, c.addr)
 	if err != nil {
 		return err
 	}
 	correct, scored := 0, 0
+	var tally drift.RejectionTally
 	for _, row := range snap.Jobs {
 		if row.Class == nil || row.Job >= c.jobs {
 			continue
 		}
+		tally.Add(mix.IsUnknown(row.Job), row.Unknown != nil && *row.Unknown)
+		if mix.IsUnknown(row.Job) {
+			continue
+		}
 		scored++
-		if telemetry.Class(*row.Class) == sources[row.Job%len(sources)].Class {
+		if telemetry.Class(*row.Class) == mix.Sources[row.Job%len(mix.Sources)].Class {
 			correct++
 		}
 	}
 	fmt.Printf("  fleet snapshot:    %d jobs registered on the server\n", snap.Count)
 	if scored > 0 {
-		fmt.Printf("  live accuracy:     %.1f%% (%d/%d jobs classified)\n",
-			100*float64(correct)/float64(scored), scored, c.jobs)
+		fmt.Printf("  live accuracy:     %.1f%% (%d/%d labelled jobs classified)\n",
+			100*float64(correct)/float64(scored), scored, mix.IDJobs)
+	}
+	switch ds, err := fetchDrift(client, c.addr); {
+	case err != nil:
+		// A transport or server failure is not "drift disabled": say so,
+		// or an operator (and CI's recall gate) mis-diagnoses the cause.
+		return fmt.Errorf("reading /v1/drift: %w", err)
+	case ds.Enabled:
+		fmt.Printf("  drift score:       %.3f (server-side max per-sensor PSI, %d unknown verdicts)\n", ds.Score, ds.Unknowns)
+		fmt.Print(tally.Report())
+	case mix.UnknownJobs > 0:
+		fmt.Printf("  note: %d out-of-distribution jobs injected but the server reports no drift calibration\n", mix.UnknownJobs)
 	}
 	return nil
+}
+
+func fetchDrift(client *http.Client, addr string) (*driftState, error) {
+	resp, err := client.Get(addr + "/v1/drift")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("drift status %d", resp.StatusCode)
+	}
+	var d driftState
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		return nil, err
+	}
+	return &d, nil
 }
 
 // sendAll posts one connection's bodies in order, retrying 429s after the

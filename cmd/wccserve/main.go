@@ -54,6 +54,7 @@ import (
 
 	"repro"
 	"repro/internal/artifact"
+	"repro/internal/drift"
 	"repro/internal/server"
 	"repro/internal/shard"
 	"repro/internal/telemetry"
@@ -73,13 +74,14 @@ func main() {
 	modelPoll := flag.Duration("model-poll", 2*time.Second, "with -model: poll interval for hot-swapping a changed artifact (0 disables)")
 	listen := flag.String("listen", "", "serve the HTTP API on this address instead of running the replay demo")
 	evictAfter := flag.Duration("evict-after", 0, "with -listen: evict jobs idle longer than this (0 disables)")
+	unknownFrac := flag.Float64("unknown-frac", 0, "replay demo: fraction of fleet jobs driven from out-of-distribution workload profiles (scored on rejection when the model carries a drift calibration)")
 	flag.Parse()
 
 	if err := run(config{
 		jobs: *jobs, scale: *scale, seed: *seed, trees: *trees,
 		start: *start, seconds: *seconds, shards: *shards, workers: *workers,
 		tick: *tick, model: *model, modelPoll: *modelPoll,
-		listen: *listen, evictAfter: *evictAfter,
+		listen: *listen, evictAfter: *evictAfter, unknownFrac: *unknownFrac,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "wccserve:", err)
 		os.Exit(1)
@@ -99,6 +101,7 @@ type config struct {
 	modelPoll      time.Duration
 	listen         string
 	evictAfter     time.Duration
+	unknownFrac    float64
 }
 
 // acquireModel produces the sharded serving core plus the simulator and
@@ -258,6 +261,9 @@ func run(c config) error {
 	if c.jobs < 1 {
 		return fmt.Errorf("need at least one job, got %d", c.jobs)
 	}
+	if c.unknownFrac < 0 || c.unknownFrac > 1 {
+		return fmt.Errorf("-unknown-frac %v must be in [0, 1]", c.unknownFrac)
+	}
 	if c.workers < 1 {
 		c.workers = 1
 	}
@@ -284,23 +290,20 @@ func run(c config) error {
 	if len(sources) == 0 {
 		return fmt.Errorf("no simulated job runs past start %.0fs + the %.0fs window", c.start, windowSec)
 	}
-	if len(sources) > c.jobs {
-		sources = sources[:c.jobs]
-	}
-	replay, err := telemetry.NewReplay(sources, 0, c.start, c.start+c.seconds)
+	// Fleet jobs past mix.IDJobs replay out-of-distribution profiles; the
+	// rest fan out the labelled simulation series.
+	mix, err := telemetry.PlanFleetMix(sources, c.jobs, c.unknownFrac, c.seed)
 	if err != nil {
 		return err
 	}
-	// Fan each source series out to ceil(jobs/len) fleet IDs so any fleet
-	// size can be driven: fleet job k replays source k % len(sources).
-	fanout := make(map[int][]int, replay.NumJobs())
-	for k := 0; k < c.jobs; k++ {
-		src := sources[k%len(sources)]
-		fanout[src.ID] = append(fanout[src.ID], k)
+	replay, err := telemetry.NewReplay(mix.ReplaySources(), 0, c.start, c.start+c.seconds)
+	if err != nil {
+		return err
 	}
+	fanout := mix.Fanout
 
-	fmt.Printf("live phase: %d fleet jobs over %d distinct telemetry series, %dx%d windows, %d shards, %d ingest workers, tick %s\n",
-		c.jobs, replay.NumJobs(), window, sensors, monitor.NumShards(), c.workers, c.tick)
+	fmt.Printf("live phase: %d fleet jobs (%d out-of-distribution) over %d distinct telemetry series, %dx%d windows, %d shards, %d ingest workers, tick %s\n",
+		c.jobs, mix.UnknownJobs, replay.NumJobs(), window, sensors, monitor.NumShards(), c.workers, c.tick)
 
 	// Artifact watcher: hot-swap a refreshed model while serving.
 	stopWatch := make(chan struct{})
@@ -411,21 +414,33 @@ func run(c config) error {
 		fmt.Printf("  model hot-swaps:    %d\n", n)
 	}
 
-	// Live accuracy: the fleet's final belief per job against the truth.
+	// Live accuracy over the labelled jobs, and open-set rejection quality
+	// over the injected unknowns (when the model carries a calibration).
 	correct, scored := 0, 0
+	var tally drift.RejectionTally
 	for k := 0; k < c.jobs; k++ {
 		pred, ok := monitor.Prediction(k)
 		if !ok {
 			continue
 		}
+		tally.Add(mix.IsUnknown(k), pred.Open != nil && pred.Open.Rejected)
+		if mix.IsUnknown(k) {
+			continue
+		}
 		scored++
-		if telemetry.Class(pred.Class) == sources[k%len(sources)].Class {
+		if telemetry.Class(pred.Class) == mix.Sources[k%len(mix.Sources)].Class {
 			correct++
 		}
 	}
 	if scored > 0 {
-		fmt.Printf("  live accuracy:      %.1f%% (%d/%d jobs classified)\n",
-			100*float64(correct)/float64(scored), scored, c.jobs)
+		fmt.Printf("  live accuracy:      %.1f%% (%d/%d labelled jobs classified)\n",
+			100*float64(correct)/float64(scored), scored, mix.IDJobs)
+	}
+	if st := monitor.DriftStats(); st.Enabled {
+		fmt.Printf("  drift score:        %.3f (max per-sensor PSI, %d unknown verdicts)\n", st.Score, st.Unknowns)
+		fmt.Print(tally.Report())
+	} else if mix.UnknownJobs > 0 {
+		fmt.Printf("  note: %d out-of-distribution jobs injected but the model carries no drift calibration (train with wcctrain -drift)\n", mix.UnknownJobs)
 	}
 	return nil
 }

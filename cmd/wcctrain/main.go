@@ -26,7 +26,9 @@ import (
 	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/drift"
 	"repro/internal/forest"
+	"repro/internal/mat"
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/preprocess"
@@ -37,15 +39,18 @@ import (
 
 func main() {
 	var (
-		model    = flag.String("model", "rf", "rf, svm, linear-svm, xgb, lstm, lstm2, cnnlstm")
-		features = flag.String("features", "cov", "cov or pca (classical models only)")
-		dsName   = flag.String("dataset", "60-middle-1", "challenge dataset name")
-		scale    = flag.Float64("scale", 0.15, "generation scale")
-		seed     = flag.Int64("seed", 1, "seed")
-		maxTrain = flag.Int("max-train", 800, "training trials cap (0 = all)")
-		maxTest  = flag.Int("max-test", 400, "test trials cap (0 = all)")
-		report   = flag.Bool("report", false, "print the per-class report")
-		out      = flag.String("o", "", "write the fitted model as a .wcc artifact to this path")
+		model      = flag.String("model", "rf", "rf, svm, linear-svm, xgb, lstm, lstm2, cnnlstm")
+		features   = flag.String("features", "cov", "cov or pca (classical models only)")
+		dsName     = flag.String("dataset", "60-middle-1", "challenge dataset name")
+		scale      = flag.Float64("scale", 0.15, "generation scale")
+		seed       = flag.Int64("seed", 1, "seed")
+		maxTrain   = flag.Int("max-train", 800, "training trials cap (0 = all)")
+		maxTest    = flag.Int("max-test", 400, "test trials cap (0 = all)")
+		report     = flag.Bool("report", false, "print the per-class report")
+		out        = flag.String("o", "", "write the fitted model as a .wcc artifact to this path")
+		driftOn    = flag.Bool("drift", true, "with -o and cov features: calibrate and persist the open-set drift section (unknown-workload rejection threshold + input reference)")
+		driftQ     = flag.Float64("drift-quantile", drift.DefaultQuantile, "calibration quantile of the probability rejection rules (confidence, margin, energy) over held-out in-distribution scores")
+		driftFeatQ = flag.Float64("drift-feat-quantile", drift.DefaultFeatQuantile, "calibration quantile of the feature-space distance gate — the rule that carries most rejection recall; raise it to trade recall for fewer in-distribution false flags")
 
 		pcaDim = flag.Int("pca-dim", 64, "PCA dimensions")
 		cVal   = flag.Float64("C", 1, "SVM regularisation")
@@ -64,6 +69,7 @@ func main() {
 	if err := run(opts{
 		model: *model, features: *features, dsName: *dsName, scale: *scale,
 		seed: *seed, maxTrain: *maxTrain, maxTest: *maxTest, report: *report, out: *out,
+		driftOn: *driftOn, driftQ: *driftQ, driftFeatQ: *driftFeatQ,
 		pcaDim: *pcaDim, c: *cVal, trees: *trees, rounds: *rounds,
 		gamma: *gamma, lambda: *lambda, alpha: *alpha,
 		hidden: *hidden, epochs: *epochs, stride: *stride,
@@ -80,6 +86,8 @@ type opts struct {
 	maxTrain, maxTest       int
 	report                  bool
 	out                     string
+	driftOn                 bool
+	driftQ, driftFeatQ      float64
 	pcaDim, trees, rounds   int
 	c, gamma, lambda, alpha float64
 	hidden, epochs, stride  int
@@ -112,6 +120,7 @@ func run(o opts) error {
 	var trained any
 	var scaler *preprocess.StandardScaler
 	var pca *preprocess.PCA
+	var covFP *core.FeaturePair // cov features, kept for drift calibration
 	featuresKind := o.features
 	window, sensors := ch.Train.X.T, ch.Train.X.C
 
@@ -121,6 +130,7 @@ func run(o opts) error {
 		switch o.features {
 		case "cov":
 			fp, err = core.CovFeatures(ch)
+			covFP = fp
 		case "pca":
 			fp, err = core.PCAFeatures(ch, o.pcaDim, o.seed)
 		default:
@@ -225,6 +235,33 @@ func run(o opts) error {
 	}
 	fmt.Printf("test accuracy: %.2f%%\n", acc*100)
 
+	// Open-set drift calibration for servable (cov-feature, probabilistic)
+	// models: rejection threshold on the held-out test probabilities, input
+	// reference on the raw training windows.
+	var cal *drift.Calibration
+	if o.out != "" && o.driftOn && covFP != nil {
+		if cls, ok := trained.(interface {
+			PredictProba(x *mat.Matrix) (*mat.Matrix, error)
+		}); ok {
+			probs, err := cls.PredictProba(covFP.TestX)
+			if err != nil {
+				return err
+			}
+			cal, err = drift.Fit(drift.FitInput{
+				Probs:           probs,
+				TrainFeatures:   covFP.TrainX,
+				HeldOutFeatures: covFP.TestX,
+				RawSamples:      core.RawSensorSamples(ch.Train.X),
+			}, drift.Options{Quantile: o.driftQ, FeatQuantile: o.driftFeatQ})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("calibrated open-set rejection at quantile %.3g (min conf %.3f, min margin %.3f, max energy %.3f; feature gate at quantile %.3g, max distance %.3f)\n",
+				cal.Threshold.Quantile, cal.Threshold.MinConf, cal.Threshold.MinMargin,
+				cal.Threshold.MaxEnergy, o.driftFeatQ, cal.Threshold.MaxFeatDist)
+		}
+	}
+
 	if o.out != "" {
 		classNames := make([]string, numClasses)
 		for _, c := range telemetry.AllClasses() {
@@ -245,6 +282,7 @@ func run(o opts) error {
 			},
 			Scaler: scaler,
 			PCA:    pca,
+			Drift:  cal,
 			Model:  trained,
 		}
 		if err := artifact.Save(o.out, a); err != nil {

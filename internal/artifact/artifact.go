@@ -28,7 +28,14 @@
 //	meta    JSON-encoded Metadata (always present, always first)
 //	scaler  preprocess.StandardScaler wire encoding (optional)
 //	pca     preprocess.PCA wire encoding (optional)
+//	drift   drift.Calibration wire encoding (optional): the open-set
+//	        rejection threshold and input-drift reference histograms
 //	model   estimator wire encoding, dispatched on Metadata.Kind
+//
+// The drift section was introduced after the first v1 artifacts shipped;
+// because unknown sections are skipped, older readers still load newer
+// artifacts, and artifacts without the section load here with Drift nil —
+// serving simply runs with open-set detection disabled.
 package artifact
 
 import (
@@ -41,6 +48,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/drift"
 	"repro/internal/forest"
 	"repro/internal/nn"
 	"repro/internal/preprocess"
@@ -70,6 +78,7 @@ const (
 	sectionMeta   = "meta"
 	sectionScaler = "scaler"
 	sectionPCA    = "pca"
+	sectionDrift  = "drift"
 	sectionModel  = "model"
 )
 
@@ -111,7 +120,11 @@ type Artifact struct {
 	Meta   Metadata
 	Scaler *preprocess.StandardScaler // nil when the model has no scaler
 	PCA    *preprocess.PCA            // nil unless Features == "pca"
-	Model  any                        // *forest.Classifier, *xgb.Classifier, *svm.Classifier, *svm.LinearClassifier, or nn.SequenceClassifier
+	// Drift carries the open-set rejection threshold and input-drift
+	// reference fitted at training time; nil for artifacts written before
+	// drift calibration existed (serving then runs with drift disabled).
+	Drift *drift.Calibration
+	Model any // *forest.Classifier, *xgb.Classifier, *svm.Classifier, *svm.LinearClassifier, or nn.SequenceClassifier
 }
 
 // ModelKind infers the Metadata.Kind string for a model value.
@@ -218,6 +231,13 @@ func Encode(w io.Writer, a *Artifact) error {
 			return err
 		}
 		sections = append(sections, section{sectionPCA, buf.Bytes()})
+	}
+	if a.Drift != nil {
+		var buf bytes.Buffer
+		if err := a.Drift.Encode(&buf); err != nil {
+			return err
+		}
+		sections = append(sections, section{sectionDrift, buf.Bytes()})
 	}
 	modelPayload, err := encodeModelPayload(a.Model)
 	if err != nil {
@@ -368,6 +388,10 @@ func Decode(r io.Reader) (*Artifact, error) {
 			if a.PCA, err = preprocess.DecodePCA(bytes.NewReader(payload)); err != nil {
 				return nil, err
 			}
+		case sectionDrift:
+			if a.Drift, err = drift.Decode(bytes.NewReader(payload)); err != nil {
+				return nil, err
+			}
 		case sectionModel:
 			// Deferred until the metadata (and with it the kind) is known;
 			// the meta section is written first but a reordered file is
@@ -439,12 +463,28 @@ type Info struct {
 	FormatVersion uint32
 	Meta          Metadata
 	Sections      []SectionInfo
+	// Drift is the decoded drift calibration; populated by ReadInfoDetail
+	// only (ReadInfo leaves it nil even when the section exists, so the
+	// hot polling path never decodes it).
+	Drift *drift.Calibration
 }
 
-// ReadInfo reads the container header and metadata section only — the cheap
-// inspection path wccinfo uses. Section checksums other than the metadata's
-// are not verified.
+// ReadInfo reads the container header and metadata section only — the
+// cheap inspection path the artifact watcher polls (section identity
+// comes from the header's CRC table; no payload past the metadata is
+// read or verified). Use ReadInfoDetail to also decode the drift section.
 func ReadInfo(path string) (*Info, error) {
+	return readInfo(path, false)
+}
+
+// ReadInfoDetail is ReadInfo plus the drift calibration section, when
+// present — the wccinfo inspection path. The model payload is still
+// skipped.
+func ReadInfoDetail(path string) (*Info, error) {
+	return readInfo(path, true)
+}
+
+func readInfo(path string, wantDrift bool) (*Info, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -456,23 +496,46 @@ func ReadInfo(path string) (*Info, error) {
 	}
 	info := &Info{FormatVersion: h.version, Sections: h.sections}
 	sawMeta := false
+	needDrift := wantDrift && sectionPresent(h.sections, sectionDrift)
 	for _, s := range h.sections {
+		// Payloads are sequential, so intervening sections must still be
+		// consumed; reading stops once every wanted section has been seen,
+		// which skips the (large) trailing model payload.
+		if sawMeta && (!needDrift || info.Drift != nil) {
+			break
+		}
 		payload, err := readSection(f, s)
 		if err != nil {
 			return nil, err
 		}
-		if s.Name == sectionMeta {
+		switch s.Name {
+		case sectionMeta:
 			if err := json.Unmarshal(payload, &info.Meta); err != nil {
 				return nil, fmt.Errorf("artifact: corrupt metadata: %w", err)
 			}
 			sawMeta = true
-			break
+		case sectionDrift:
+			if needDrift {
+				if info.Drift, err = drift.Decode(bytes.NewReader(payload)); err != nil {
+					return nil, err
+				}
+			}
 		}
 	}
 	if !sawMeta {
 		return nil, errors.New("artifact: missing meta section")
 	}
 	return info, nil
+}
+
+// sectionPresent reports whether the table lists a section by name.
+func sectionPresent(sections []SectionInfo, name string) bool {
+	for _, s := range sections {
+		if s.Name == name {
+			return true
+		}
+	}
+	return false
 }
 
 // Sniff reports whether the file at path starts with the artifact magic.

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/fleet"
 	"repro/internal/forest"
 	"repro/internal/mat"
 	"repro/internal/preprocess"
@@ -123,6 +124,11 @@ func TestGoldenArtifactCompatibility(t *testing.T) {
 	if a.Scaler == nil || len(a.Scaler.Means) != 12 {
 		t.Fatal("golden scaler missing or reshaped")
 	}
+	// The fixture predates the drift section: it must keep loading with
+	// open-set detection simply disabled, never an error.
+	if a.Drift != nil {
+		t.Fatal("golden v1 artifact (written before drift calibration existed) decoded a drift section")
+	}
 
 	raw, err := os.ReadFile(goldenProbs)
 	if err != nil {
@@ -151,5 +157,48 @@ func TestGoldenArtifactCompatibility(t *testing.T) {
 					"bump the format version and regenerate with -update)", i, c, grow[c], wrow[c])
 			}
 		}
+	}
+}
+
+// TestGoldenArtifactServesWithoutDrift pins that a pre-drift artifact still
+// serves: a fleet monitor built from its scaler and model, with no drift
+// calibration, classifies a live stream and reports drift disabled.
+func TestGoldenArtifactServesWithoutDrift(t *testing.T) {
+	a, err := Load(goldenArtifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := fleet.New(fleet.Config{
+		Window:  a.Meta.Window,
+		Sensors: a.Meta.Sensors,
+		Scaler:  a.Scaler,
+		Model:   a.Model.(*forest.Classifier),
+		Drift:   a.Drift, // nil: drift disabled, never an error
+	})
+	if err != nil {
+		t.Fatalf("pre-drift artifact no longer builds a serving fleet: %v", err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < a.Meta.Window+2; i++ {
+		sample := make([]float64, a.Meta.Sensors)
+		for c := range sample {
+			sample[c] = rng.NormFloat64()
+		}
+		if err := m.Ingest(1, sample); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	pred, ok := m.Prediction(1)
+	if !ok {
+		t.Fatal("no prediction from the pre-drift artifact")
+	}
+	if pred.Open != nil {
+		t.Fatal("open-set annotation present with drift disabled")
+	}
+	if st := m.DriftStats(); st.Enabled {
+		t.Fatal("drift stats enabled without a calibration")
 	}
 }

@@ -26,6 +26,18 @@ type FeaturePair struct {
 	PCA *preprocess.PCA
 }
 
+// RawSensorSamples flattens a dataset tensor's windows into one matrix of
+// raw telemetry samples (rows are samples, columns sensors) — the input
+// drift.FitReference consumes when calibrating the serving plane's
+// input-drift reference histograms.
+func RawSensorSamples(x *dataset.Tensor3) *mat.Matrix {
+	out := mat.New(x.N*x.T, x.C)
+	for i, v := range x.Data {
+		out.Data[i] = float64(v)
+	}
+	return out
+}
+
 // standardised flattens both splits and standardises them with
 // training-set statistics, exactly the paper's first step.
 func standardised(ch *dataset.Challenge) (trainZ, testZ *mat.Matrix, scaler *preprocess.StandardScaler, err error) {

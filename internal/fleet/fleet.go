@@ -22,7 +22,13 @@
 //   - job lifecycle: EndJob releases a finished job's slot and returns its
 //     final prediction, EvictIdle garbage-collects jobs whose producers
 //     went away, and Snapshot gives operators a read-only, ID-sorted view
-//     of every registered job.
+//     of every registered job;
+//   - optional open-set detection (Config.Drift, see internal/drift):
+//     ticks annotate every prediction with calibrated open-set scores and
+//     an unknown-workload rejection flag, ingest accumulates per-sensor
+//     input histograms, and DriftStats reports the fleet's PSI drift
+//     against the training-time reference — without changing a single
+//     in-distribution prediction bit.
 //
 // Models that implement BatchClassifier (forest, xgb) get their worker-pool
 // batched path; any stream.Classifier still works via one multi-row
@@ -39,11 +45,13 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/drift"
 	"repro/internal/mat"
 	"repro/internal/preprocess"
 	"repro/internal/stream"
@@ -72,6 +80,13 @@ type Config struct {
 	// Shards is the registry shard count (default 32). More shards spread
 	// ingest lock contention; the count is fixed at construction.
 	Shards int
+	// Drift, when non-nil, enables open-set detection and input-drift
+	// monitoring: every tick annotates predictions with open-set scores
+	// and a rejected flag from the calibrated threshold, and every
+	// ingested sample lands in per-sensor drift histograms (DriftStats).
+	// In-distribution predictions are bit-identical with or without it —
+	// scoring annotates, it never alters Class/Probability/Probs.
+	Drift *drift.Calibration
 }
 
 // jobState is one job's slot in the registry, guarded by its shard's mutex.
@@ -87,22 +102,34 @@ type jobState struct {
 type shard struct {
 	mu   sync.Mutex
 	jobs map[int]*jobState
+	// dw accumulates the shard's input-drift histogram counts against the
+	// reference dref (both nil when drift monitoring is disabled); guarded
+	// by mu like the registry, and replaced together on a drift swap.
+	dw   *drift.Window
+	dref *drift.Reference
 }
 
 // Monitor is a fleet-wide live classifier. Ingest may be called from any
 // number of goroutines concurrently, including concurrently with Tick;
 // Tick itself is serialised internally.
 type Monitor struct {
-	cfg     Config
-	dim     int
-	batch   BatchClassifier // nil when Model has no batched path
-	shards  []*shard
-	tickMu  sync.Mutex
-	samples atomic.Uint64
-	ticks   atomic.Uint64
-	classed atomic.Uint64
-	swaps   atomic.Uint64
-	evicted atomic.Uint64
+	cfg    Config
+	dim    int
+	batch  BatchClassifier // nil when Model has no batched path
+	shards []*shard
+	tickMu sync.Mutex
+	// dcal is the live drift calibration (nil = detection disabled). It is
+	// written only while holding BOTH tickMu and driftMu, so Tick reads it
+	// under tickMu alone and the DriftStats read surface under driftMu
+	// alone — and a drift swap can never interleave with either.
+	driftMu  sync.RWMutex
+	dcal     *drift.Calibration
+	samples  atomic.Uint64
+	ticks    atomic.Uint64
+	classed  atomic.Uint64
+	swaps    atomic.Uint64
+	evicted  atomic.Uint64
+	unknowns atomic.Uint64
 }
 
 // New validates the configuration and returns an empty fleet monitor.
@@ -119,9 +146,13 @@ func New(cfg Config) (*Monitor, error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = 32
 	}
+	if err := validateDrift(cfg.Drift, cfg.Sensors); err != nil {
+		return nil, err
+	}
 	m := &Monitor{
 		cfg:    cfg,
 		dim:    preprocess.CovarianceDim(cfg.Sensors),
+		dcal:   cfg.Drift,
 		shards: make([]*shard, cfg.Shards),
 	}
 	if b, ok := cfg.Model.(BatchClassifier); ok {
@@ -129,8 +160,37 @@ func New(cfg Config) (*Monitor, error) {
 	}
 	for i := range m.shards {
 		m.shards[i] = &shard{jobs: make(map[int]*jobState)}
+		if cfg.Drift != nil {
+			m.shards[i].dw = drift.NewWindow(cfg.Sensors, cfg.Drift.Ref.Bins)
+			m.shards[i].dref = cfg.Drift.Ref
+		}
 	}
 	return m, nil
+}
+
+// validateDrift checks a calibration against the fleet's window shape
+// before it can reach the hot path: a reference over the wrong sensor
+// count would mis-bin every sample, and feature statistics of the wrong
+// width would index out of the embedding row on the first scored tick — a
+// crafted or mismatched artifact must fail construction, never panic
+// serving. nil (detection disabled) is always valid.
+func validateDrift(cal *drift.Calibration, sensors int) error {
+	if cal == nil {
+		return nil
+	}
+	if cal.Ref == nil {
+		return errors.New("fleet: drift calibration carries no input reference")
+	}
+	if got := cal.Ref.Sensors(); got != sensors {
+		return fmt.Errorf("fleet: drift reference covers %d sensors, fleet has %d", got, sensors)
+	}
+	if cal.Feat != nil {
+		if want := preprocess.CovarianceDim(sensors); len(cal.Feat.Means) != want {
+			return fmt.Errorf("fleet: drift feature statistics cover %d features, embedding has %d",
+				len(cal.Feat.Means), want)
+		}
+	}
+	return nil
 }
 
 // shardFor hashes a job ID to its shard. Sequential IDs are mixed so bursts
@@ -140,14 +200,28 @@ func (m *Monitor) shardFor(jobID int) *shard {
 	return m.shards[(h>>32)%uint64(len(m.shards))]
 }
 
+// maxSampleMagnitude bounds one sensor reading. Real DCGM telemetry sits
+// many orders of magnitude below it; values past the bound (and NaN/Inf,
+// which JSON cannot express but a direct caller can) would poison the
+// sliding-window covariance sums — a NaN never cancels back out of the
+// incremental sums, and an enormous finite value destroys their precision
+// even after eviction — so they are rejected before touching any state.
+const maxSampleMagnitude = 1e12
+
 // Ingest feeds one telemetry sample (one value per sensor) for the given
 // job, creating the job's embedder on first sight. Safe for concurrent use.
-// A sample of the wrong width is rejected before the job registers, so a
-// stream of invalid samples (e.g. hostile ingest traffic behind the HTTP
-// layer) cannot grow the registry.
+// A sample of the wrong width, or carrying a non-finite or absurdly large
+// value, is rejected before the job registers, so a stream of invalid
+// samples (e.g. hostile ingest traffic behind the HTTP layer) cannot grow
+// the registry or corrupt a window.
 func (m *Monitor) Ingest(jobID int, sample []float64) error {
 	if len(sample) != m.cfg.Sensors {
 		return fmt.Errorf("fleet: sample has %d sensors, want %d", len(sample), m.cfg.Sensors)
+	}
+	for i, v := range sample {
+		if math.IsNaN(v) || v > maxSampleMagnitude || v < -maxSampleMagnitude {
+			return fmt.Errorf("fleet: sensor %d value %v is not a finite telemetry reading", i, v)
+		}
 	}
 	sh := m.shardFor(jobID)
 	sh.mu.Lock()
@@ -166,6 +240,9 @@ func (m *Monitor) Ingest(jobID int, sample []float64) error {
 		js.dirty = true
 		js.samples++
 		js.lastSeen = time.Now().UnixNano()
+		if sh.dw != nil {
+			sh.dw.Add(sh.dref, sample)
+		}
 	}
 	sh.mu.Unlock()
 	if err == nil {
@@ -253,6 +330,18 @@ func (m *Monitor) Tick() (TickStats, error) {
 		row := probs.Row(i)
 		best := mat.ArgMax(row)
 		pred := &stream.Prediction{Class: best, Probability: row[best], Probs: row}
+		if m.dcal != nil { // tickMu held: coherent with drift swaps
+			// Open-set annotation: score the probability row plus the very
+			// embedding row the model consumed against the calibrated
+			// threshold. The prediction itself is untouched, so enabling
+			// drift leaves in-distribution results bit-identical.
+			sc := m.dcal.Score(row, x.Row(i))
+			rejected := m.dcal.Threshold.Reject(sc)
+			pred.Open = &stream.OpenSet{Margin: sc.Margin, Energy: sc.Energy, FeatDist: sc.FeatDist, Rejected: rejected}
+			if rejected {
+				m.unknowns.Add(1)
+			}
+		}
 		c.js.home.mu.Lock()
 		c.js.pred = pred
 		if c.js.samples == c.seen {
@@ -276,6 +365,11 @@ func (m *Monitor) Tick() (TickStats, error) {
 // the same feature layout (and the same scaler statistics) the fleet's
 // embedders were built with.
 //
+// The drift calibration is left untouched — correct only when the model
+// itself is unchanged in distribution. A retrained artifact carries its
+// own calibration; roll it in with SwapClassifierDrift so open-set
+// verdicts are never scored against another model's thresholds.
+//
 // Safe to call from any goroutine, concurrently with Ingest and Tick.
 func (m *Monitor) SwapClassifier(model stream.Classifier) error {
 	if model == nil {
@@ -283,13 +377,56 @@ func (m *Monitor) SwapClassifier(model stream.Classifier) error {
 	}
 	m.tickMu.Lock()
 	defer m.tickMu.Unlock()
+	m.installModel(model)
+	m.swaps.Add(1)
+	return nil
+}
+
+// SwapClassifierDrift is SwapClassifier plus the model's own drift
+// calibration (nil disables detection): both install under the tick mutex,
+// so no inference pass ever scores one model's probabilities against
+// another model's thresholds. The accumulated drift histograms reset —
+// they were binned against the outgoing reference — so PSI reporting
+// restarts cleanly for the new generation; the Unknowns counter stays
+// monotonic.
+//
+// Safe to call from any goroutine, concurrently with Ingest, Tick and the
+// DriftStats read surface.
+func (m *Monitor) SwapClassifierDrift(model stream.Classifier, cal *drift.Calibration) error {
+	if model == nil {
+		return errors.New("fleet: cannot swap in a nil model")
+	}
+	if err := validateDrift(cal, m.cfg.Sensors); err != nil {
+		return err
+	}
+	m.tickMu.Lock()
+	defer m.tickMu.Unlock()
+	m.driftMu.Lock()
+	m.installModel(model)
+	m.dcal = cal
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		if cal != nil {
+			sh.dw = drift.NewWindow(m.cfg.Sensors, cal.Ref.Bins)
+			sh.dref = cal.Ref
+		} else {
+			sh.dw, sh.dref = nil, nil
+		}
+		sh.mu.Unlock()
+	}
+	m.driftMu.Unlock()
+	m.swaps.Add(1)
+	return nil
+}
+
+// installModel sets the serving model and its batched fast path; callers
+// hold tickMu.
+func (m *Monitor) installModel(model stream.Classifier) {
 	m.cfg.Model = model
 	m.batch = nil
 	if b, ok := model.(BatchClassifier); ok {
 		m.batch = b
 	}
-	m.swaps.Add(1)
-	return nil
 }
 
 // Swaps returns the number of completed classifier swaps.
@@ -428,3 +565,91 @@ func (m *Monitor) Classifications() uint64 { return m.classed.Load() }
 
 // Ticks returns the number of completed ticks.
 func (m *Monitor) Ticks() uint64 { return m.ticks.Load() }
+
+// DriftStats reports the monitor's open-set and input-drift state. Like
+// TickStats it is a mergeable snapshot: package shard sums the underlying
+// histogram windows across monitors and recomputes the PSI, so a sharded
+// fleet reports exactly what one monitor fed the same streams would.
+type DriftStats struct {
+	// Enabled reports whether the monitor carries a drift calibration;
+	// every other field is zero when it does not.
+	Enabled bool
+	// Samples is the number of telemetry samples binned into the drift
+	// histograms.
+	Samples uint64
+	// Unknowns counts classifications the calibrated threshold rejected
+	// as unknown workloads (monotonic; re-scored jobs count each time).
+	Unknowns uint64
+	// SensorPSI is the per-sensor Population Stability Index of the live
+	// input against the training reference.
+	SensorPSI []float64
+	// Score is the fleet drift score: the maximum SensorPSI.
+	Score float64
+}
+
+// DriftEnabled reports whether the monitor scores predictions against a
+// drift calibration.
+func (m *Monitor) DriftEnabled() bool {
+	m.driftMu.RLock()
+	defer m.driftMu.RUnlock()
+	return m.dcal != nil
+}
+
+// DriftCalibration returns the monitor's current calibration (nil when
+// drift monitoring is disabled). The calibration itself is immutable;
+// swaps replace the pointer.
+func (m *Monitor) DriftCalibration() *drift.Calibration {
+	m.driftMu.RLock()
+	defer m.driftMu.RUnlock()
+	return m.dcal
+}
+
+// DriftWindow merges the per-shard input histograms into one independent
+// snapshot, or reports false when drift monitoring is disabled. The
+// drift lock is held across the whole merge, so a concurrent
+// SwapClassifierDrift can never hand it windows of mixed generations.
+func (m *Monitor) DriftWindow() (*drift.Window, bool) {
+	m.driftMu.RLock()
+	defer m.driftMu.RUnlock()
+	w, _ := m.driftWindowLocked()
+	return w, w != nil
+}
+
+// driftWindowLocked merges the shard histograms; callers hold driftMu.
+func (m *Monitor) driftWindowLocked() (*drift.Window, *drift.Calibration) {
+	if m.dcal == nil {
+		return nil, nil
+	}
+	out := drift.NewWindow(m.cfg.Sensors, m.dcal.Ref.Bins)
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		out.Merge(sh.dw)
+		sh.mu.Unlock()
+	}
+	return out, m.dcal
+}
+
+// Unknowns returns the total number of classifications rejected as
+// unknown workloads (0 when drift monitoring is disabled).
+func (m *Monitor) Unknowns() uint64 { return m.unknowns.Load() }
+
+// DriftStats snapshots the open-set and input-drift state: merged
+// histogram counts, per-sensor PSI against the training reference, and
+// the fleet drift score. Safe to call concurrently with Ingest, Tick and
+// swaps.
+func (m *Monitor) DriftStats() DriftStats {
+	m.driftMu.RLock()
+	defer m.driftMu.RUnlock()
+	w, cal := m.driftWindowLocked()
+	if w == nil {
+		return DriftStats{}
+	}
+	psi := cal.Ref.PSI(w)
+	return DriftStats{
+		Enabled:   true,
+		Samples:   w.Samples,
+		Unknowns:  m.unknowns.Load(),
+		SensorPSI: psi,
+		Score:     drift.FleetScore(psi),
+	}
+}

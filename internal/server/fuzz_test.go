@@ -1,0 +1,114 @@
+package server
+
+import (
+	"bytes"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// FuzzParseIngestLine fuzzes the NDJSON line parser with hostile input:
+// malformed JSON, JSON's unparseable NaN/Inf spellings, out-of-range
+// numbers, wrong field types, deep nesting and binary garbage. The
+// contract: never panic, never accept a sample without a valid job ID and
+// non-empty values, and report blank-vs-error consistently.
+func FuzzParseIngestLine(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`{"job":1,"values":[1,2,3]}`,
+		`{"job":-4,"values":[1]}`,
+		`{"job":null,"values":[1]}`,
+		`{"job":1,"values":[]}`,
+		`{"job":1,"values":[NaN]}`,
+		`{"job":1,"values":[Infinity,-Infinity]}`,
+		`{"job":1,"values":[1e999]}`,
+		`{"job":1,"values":[1e308,-1e308]}`,
+		`{"job":18446744073709551616,"values":[1]}`,
+		`{"job":"7","values":[1]}`,
+		`{"job":1,"values":"nope"}`,
+		`{"job":1,"values":[{"a":1}]}`,
+		`[1,2,3]`,
+		`"just a string"`,
+		`{"job":1,"values":[1,2,3]`,
+		"\x00\x01\x02\xff",
+		strings.Repeat(`{"job":1,`, 1000),
+		`{"values":[0.1,0.2],"job":3,"extra":{"nested":[1,[2,[3]]]}}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		trimmed := bytes.TrimSpace(raw)
+		sm, errp, ok := parseIngestLine(1, trimmed)
+		switch {
+		case ok:
+			if errp != nil {
+				t.Fatalf("accepted line also reported an error: %v", errp)
+			}
+			if sm.job < 0 {
+				t.Fatalf("accepted negative job %d", sm.job)
+			}
+			if len(sm.values) == 0 {
+				t.Fatal("accepted a sample with no values")
+			}
+			// encoding/json cannot produce NaN/Inf — pin that assumption,
+			// since the fleet's sanity gate is the only other line of
+			// defence before the covariance sums.
+			for _, v := range sm.values {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("parser let a non-finite value through: %v", v)
+				}
+			}
+		case len(trimmed) == 0:
+			if errp != nil {
+				t.Fatalf("blank line reported an error: %v", errp)
+			}
+		default:
+			if errp == nil {
+				t.Fatal("rejected line carries no error")
+			}
+			if errp.Line != 1 || errp.Error == "" {
+				t.Fatalf("malformed line error: %+v", errp)
+			}
+		}
+	})
+}
+
+// FuzzIngestHTTP fuzzes the whole ingest path over a real handler: any
+// body — including oversized lines and batches mixing valid and hostile
+// samples — must produce a well-formed HTTP response, never a panic, and
+// never poison the valid samples' jobs.
+func FuzzIngestHTTP(f *testing.F) {
+	f.Add([]byte(`{"job":1,"values":[1,2,3]}` + "\n" + `{"job":2,"values":[4,5,6]}`))
+	f.Add([]byte(`{"job":1,"values":[1e308,2,3]}`))
+	f.Add([]byte("{\"job\":1,\"values\":[1,2,3]}\n\xde\xad\xbe\xef\n{\"job\":2,\"values\":[4,5,6]}"))
+	f.Add(bytes.Repeat([]byte("x"), 4096))
+	f.Add([]byte(`{"job":1,"values":[` + strings.Repeat("1,", 5000) + `1]}`))
+
+	scaler, model := fixture(f)
+	m, err := fleet.New(fleet.Config{Window: testWindow, Sensors: testSensors, Scaler: scaler, Model: model})
+	if err != nil {
+		f.Fatal(err)
+	}
+	s, err := New(Config{Monitor: m, TickEvery: time.Hour, MaxBodyBytes: 1 << 20})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { s.Close() })
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest("POST", "/v1/ingest", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+		switch rec.Code {
+		case 200, 400, 413:
+		default:
+			t.Fatalf("unexpected status %d", rec.Code)
+		}
+	})
+}

@@ -60,6 +60,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("wcc_tick_errors_total", "Inference ticks that returned an error.", tickErrs)
 	counter("wcc_model_swaps_total", "Zero-downtime classifier hot-swaps.", s.m.Swaps())
 	counter("wcc_jobs_evicted_total", "Jobs removed from the registry (EndJob or idle eviction).", s.m.Evictions())
+	ds := s.m.DriftStats()
+	counter("wcc_unknown_total", "Classifications rejected as unknown workloads by the open-set threshold.", ds.Unknowns)
+	gauge("wcc_drift_score", "Fleet input-drift score: maximum per-sensor PSI against the training reference.", ds.Score)
+	if ds.Enabled {
+		fmt.Fprintf(w, "# HELP wcc_drift_sensor_psi Per-sensor PSI of live input against the training reference.\n# TYPE wcc_drift_sensor_psi gauge\n")
+		for i, v := range ds.SensorPSI {
+			fmt.Fprintf(w, "wcc_drift_sensor_psi{sensor=\"%d\"} %g\n", i, v)
+		}
+	}
 	counter("wcc_ingest_throttled_total", "Ingest requests answered 429 because the queue was full.", s.throttled.Load())
 	counter("wcc_ingest_line_errors_total", "Ingest lines rejected (malformed or unacceptable samples).", s.lineErrs.Load())
 	gauge("wcc_jobs", "Jobs currently registered in the fleet.", float64(s.m.NumJobs()))

@@ -19,7 +19,13 @@
 //	GET    /v1/jobs                 fleet-wide snapshot (per-job state and
 //	                                latest classification)
 //	GET    /v1/jobs/{id}/prediction latest full prediction for one job
+//	                                (with open-set confidence/unknown fields
+//	                                when the fleet carries a drift
+//	                                calibration)
 //	DELETE /v1/jobs/{id}            end a job, freeing its registry slot
+//	GET    /v1/drift                open-set and input-drift state: unknown
+//	                                counts and per-sensor PSI against the
+//	                                training reference
 //	GET    /healthz                 liveness plus window shape
 //	GET    /metrics                 Prometheus-style text metrics
 //
@@ -48,6 +54,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/drift"
 	"repro/internal/fleet"
 	"repro/internal/shard"
 	"repro/internal/stream"
@@ -62,6 +69,7 @@ type Monitor interface {
 	Ingest(jobID int, sample []float64) error
 	Tick() (fleet.TickStats, error)
 	SwapClassifier(model stream.Classifier) error
+	SwapClassifierDrift(model stream.Classifier, cal *drift.Calibration) error
 	Prediction(jobID int) (*stream.Prediction, bool)
 	EndJob(jobID int) (*stream.Prediction, bool)
 	EvictIdle(maxIdle time.Duration) int
@@ -74,6 +82,7 @@ type Monitor interface {
 	Ticks() uint64
 	Swaps() uint64
 	Evictions() uint64
+	DriftStats() fleet.DriftStats
 }
 
 // Sharded is the optional extension a sharded fleet offers. When the
@@ -240,6 +249,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleSnapshot)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/prediction", s.handlePrediction)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleEndJob)
+	s.mux.HandleFunc("GET /v1/drift", s.handleDrift)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 
@@ -411,6 +421,32 @@ type ingestLine struct {
 	Values []float64 `json:"values"`
 }
 
+// parseIngestLine validates one raw NDJSON line (already trimmed of
+// surrounding whitespace). It returns ok=false with nil errp for a blank
+// line (skipped), ok=false with a lineError for a rejected line, and
+// ok=true with the parsed sample otherwise. It never panics on hostile
+// input: malformed JSON, wrong field types, missing fields and JSON's
+// unrepresentable NaN/Inf spellings all land in the per-line error, so one
+// bad line never poisons the batch's valid samples. Sensor-width and
+// value-sanity checks (non-finite and absurd magnitudes) happen in
+// fleet.Monitor.Ingest, and surface per line through the same accounting.
+func parseIngestLine(line int, raw []byte) (sampleReq, *lineError, bool) {
+	if len(raw) == 0 {
+		return sampleReq{}, nil, false
+	}
+	var in ingestLine
+	if err := json.Unmarshal(raw, &in); err != nil {
+		return sampleReq{}, &lineError{Line: line, Error: "malformed JSON: " + err.Error()}, false
+	}
+	if in.Job == nil || *in.Job < 0 {
+		return sampleReq{}, &lineError{Line: line, Error: `missing or negative "job"`}, false
+	}
+	if len(in.Values) == 0 {
+		return sampleReq{}, &lineError{Line: line, Error: `missing or empty "values"`}, false
+	}
+	return sampleReq{line: line, job: *in.Job, values: in.Values}, nil, true
+}
+
 // ingestResponse is the per-request accounting an ingest returns.
 type ingestResponse struct {
 	Accepted int         `json:"accepted"`
@@ -443,24 +479,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	line := 0
 	for sc.Scan() {
 		line++
-		raw := bytes.TrimSpace(sc.Bytes())
-		if len(raw) == 0 {
-			continue
+		sm, errp, ok := parseIngestLine(line, bytes.TrimSpace(sc.Bytes()))
+		if errp != nil {
+			parseErrs = append(parseErrs, *errp)
 		}
-		var in ingestLine
-		if err := json.Unmarshal(raw, &in); err != nil {
-			parseErrs = append(parseErrs, lineError{Line: line, Error: "malformed JSON: " + err.Error()})
-			continue
+		if ok {
+			samples = append(samples, sm)
 		}
-		if in.Job == nil || *in.Job < 0 {
-			parseErrs = append(parseErrs, lineError{Line: line, Error: `missing or negative "job"`})
-			continue
-		}
-		if len(in.Values) == 0 {
-			parseErrs = append(parseErrs, lineError{Line: line, Error: `missing or empty "values"`})
-			continue
-		}
-		samples = append(samples, sampleReq{line: line, job: *in.Job, values: in.Values})
 	}
 	if err := sc.Err(); err != nil {
 		// Nothing was enqueued yet, so a request-level failure rejects the
@@ -500,13 +525,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// predictionResponse is the full per-job prediction read.
+// predictionResponse is the full per-job prediction read. The open-set
+// fields (confidence through unknown) are present only when the serving
+// fleet carries a drift calibration; confidence duplicates probability
+// under its open-set name so drift-aware clients read one coherent block.
 type predictionResponse struct {
 	Job         int       `json:"job"`
 	Class       int       `json:"class"`
 	ClassName   string    `json:"class_name,omitempty"`
 	Probability float64   `json:"probability"`
 	Probs       []float64 `json:"probs"`
+	Confidence  *float64  `json:"confidence,omitempty"`
+	Margin      *float64  `json:"margin,omitempty"`
+	Energy      *float64  `json:"energy,omitempty"`
+	FeatureDist *float64  `json:"feature_distance,omitempty"`
+	Unknown     *bool     `json:"unknown,omitempty"`
 }
 
 func (s *Server) className(class int) string {
@@ -527,10 +560,16 @@ func (s *Server) handlePrediction(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no prediction for job %d", id))
 		return
 	}
-	writeJSON(w, http.StatusOK, predictionResponse{
+	resp := predictionResponse{
 		Job: id, Class: pred.Class, ClassName: s.className(pred.Class),
 		Probability: pred.Probability, Probs: pred.Probs,
-	})
+	}
+	if o := pred.Open; o != nil {
+		conf, margin, energy, featDist, unknown := pred.Probability, o.Margin, o.Energy, o.FeatDist, o.Rejected
+		resp.Confidence, resp.Margin, resp.Energy, resp.FeatureDist, resp.Unknown =
+			&conf, &margin, &energy, &featDist, &unknown
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // jobSummary is one job's row in the fleet snapshot.
@@ -546,6 +585,9 @@ type jobSummary struct {
 	Class       *int    `json:"class,omitempty"`
 	ClassName   string  `json:"class_name,omitempty"`
 	Probability float64 `json:"probability,omitempty"`
+	// Unknown is the open-set verdict, present only when the fleet scores
+	// predictions against a drift calibration.
+	Unknown *bool `json:"unknown,omitempty"`
 }
 
 type snapshotResponse struct {
@@ -566,6 +608,10 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 			row.Class = &class
 			row.ClassName = s.className(class)
 			row.Probability = ji.Pred.Probability
+			if o := ji.Pred.Open; o != nil {
+				unknown := o.Rejected
+				row.Unknown = &unknown
+			}
 		}
 		resp.Jobs = append(resp.Jobs, row)
 	}
@@ -600,6 +646,36 @@ func (s *Server) handleEndJob(w http.ResponseWriter, r *http.Request) {
 		resp.Probability = final.Probability
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// driftResponse is the fleet's open-set and input-drift state. Score and
+// SensorPSI follow the usual PSI reading: < 0.1 stable, 0.1–0.25 moderate
+// drift, > 0.25 major drift.
+type driftResponse struct {
+	// Enabled reports whether the serving model carries a drift
+	// calibration; all other fields are zero when it does not.
+	Enabled bool `json:"enabled"`
+	// Score is the fleet drift score: the maximum per-sensor PSI.
+	Score float64 `json:"score"`
+	// SensorPSI is the per-sensor PSI against the training reference, in
+	// Table III sensor order.
+	SensorPSI []float64 `json:"sensor_psi,omitempty"`
+	// Samples is the number of ingested samples binned into the drift
+	// histograms.
+	Samples uint64 `json:"samples"`
+	// Unknowns counts classifications rejected as unknown workloads.
+	Unknowns uint64 `json:"unknowns"`
+}
+
+func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
+	st := s.m.DriftStats()
+	writeJSON(w, http.StatusOK, driftResponse{
+		Enabled:   st.Enabled,
+		Score:     st.Score,
+		SensorPSI: st.SensorPSI,
+		Samples:   st.Samples,
+		Unknowns:  st.Unknowns,
+	})
 }
 
 // healthResponse is the liveness read; Window and Sensors tell a load

@@ -119,7 +119,11 @@ func swapFromPath(cfg WatchConfig) (artifact.Metadata, error) {
 	if !a.Scaler.Equal(cfg.Scaler) {
 		return artifact.Metadata{}, errors.New("scaler statistics differ from the serving scaler")
 	}
-	if err := cfg.Monitor.SwapClassifier(cls); err != nil {
+	// The replacement model brings its own drift calibration (or none):
+	// swapping both together keeps open-set verdicts coherent — thresholds
+	// calibrated on the outgoing model's probability distribution must
+	// never score the incoming model.
+	if err := cfg.Monitor.SwapClassifierDrift(cls, a.Drift); err != nil {
 		return artifact.Metadata{}, err
 	}
 	return a.Meta, nil

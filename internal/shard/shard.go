@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/drift"
 	"repro/internal/fleet"
 	"repro/internal/preprocess"
 	"repro/internal/stream"
@@ -63,6 +64,10 @@ type Config struct {
 	// RegistryShards is each monitor's internal registry shard count
 	// (0 = the fleet default). Mostly a testing knob.
 	RegistryShards int
+	// Drift, when non-nil, enables open-set detection and input-drift
+	// monitoring on every shard (see fleet.Config.Drift); DriftStats
+	// merges the per-shard histograms back into one fleet-wide view.
+	Drift *drift.Calibration
 }
 
 // Core is a sharded fleet: N independent fleet.Monitor shards behind the
@@ -74,6 +79,7 @@ type Core struct {
 	monitors []*fleet.Monitor
 	window   int
 	sensors  int
+	drift    *drift.Calibration // nil when drift monitoring is disabled
 
 	// swapMu orders ticks against model swaps: every inference pass holds
 	// the read side, SwapClassifier holds the write side while installing
@@ -92,6 +98,7 @@ func New(cfg Config) (*Core, error) {
 		monitors: make([]*fleet.Monitor, cfg.Shards),
 		window:   cfg.Window,
 		sensors:  cfg.Sensors,
+		drift:    cfg.Drift,
 	}
 	for i := range c.monitors {
 		m, err := fleet.New(fleet.Config{
@@ -100,6 +107,7 @@ func New(cfg Config) (*Core, error) {
 			Scaler:  cfg.Scaler,
 			Model:   cfg.Model,
 			Shards:  cfg.RegistryShards,
+			Drift:   cfg.Drift,
 		})
 		if err != nil {
 			return nil, err
@@ -227,7 +235,8 @@ func (c *Core) Run(stop <-chan struct{}, every time.Duration, observe func(Shard
 // new one, never a mix. Ingest never touches the model and proceeds
 // untouched throughout. Per-job window state is preserved; the new model
 // must consume the same feature layout (and scaler statistics) the shards'
-// embedders were built with.
+// embedders were built with. The drift calibration is left untouched; a
+// retrained artifact's calibration rolls in with SwapClassifierDrift.
 func (c *Core) SwapClassifier(model stream.Classifier) error {
 	if model == nil {
 		return errors.New("shard: cannot swap in a nil model")
@@ -241,6 +250,31 @@ func (c *Core) SwapClassifier(model stream.Classifier) error {
 			return err
 		}
 	}
+	c.swaps.Add(1)
+	return nil
+}
+
+// SwapClassifierDrift installs a new model together with its own drift
+// calibration (nil disables detection) on every shard, under the same
+// write lock as SwapClassifier — no tick anywhere scores one model's
+// probabilities against another model's thresholds, fleet-wide. Per-shard
+// drift histograms reset for the new generation.
+func (c *Core) SwapClassifierDrift(model stream.Classifier, cal *drift.Calibration) error {
+	if model == nil {
+		return errors.New("shard: cannot swap in a nil model")
+	}
+	c.swapMu.Lock()
+	defer c.swapMu.Unlock()
+	for _, m := range c.monitors {
+		// Validation (nil model, calibration shape) runs before any
+		// monitor mutates and is identical across shards, so only the
+		// first iteration can fail — the loop never strands the fleet on
+		// mixed generations.
+		if err := m.SwapClassifierDrift(model, cal); err != nil {
+			return err
+		}
+	}
+	c.drift = cal
 	c.swaps.Add(1)
 	return nil
 }
@@ -367,4 +401,43 @@ func (c *Core) Evictions() uint64 {
 		n += m.Evictions()
 	}
 	return n
+}
+
+// Unknowns sums classifications rejected as unknown workloads across all
+// shards (0 when drift monitoring is disabled).
+func (c *Core) Unknowns() uint64 {
+	var n uint64
+	for _, m := range c.monitors {
+		n += m.Unknowns()
+	}
+	return n
+}
+
+// DriftStats merges the per-shard drift state into one fleet-wide view,
+// exactly as Tick merges TickStats: the shards' histogram windows are
+// summed first and the per-sensor PSI recomputed on the merged counts
+// (PSI is not additive, so averaging per-shard PSIs would misreport), so
+// the result is bit-identical to a single monitor fed the same streams.
+// The read side of the swap lock keeps the merge on one calibration
+// generation.
+func (c *Core) DriftStats() fleet.DriftStats {
+	c.swapMu.RLock()
+	defer c.swapMu.RUnlock()
+	if c.drift == nil {
+		return fleet.DriftStats{}
+	}
+	merged := drift.NewWindow(c.sensors, c.drift.Ref.Bins)
+	for _, m := range c.monitors {
+		if w, ok := m.DriftWindow(); ok {
+			merged.Merge(w)
+		}
+	}
+	psi := c.drift.Ref.PSI(merged)
+	return fleet.DriftStats{
+		Enabled:   true,
+		Samples:   merged.Samples,
+		Unknowns:  c.Unknowns(),
+		SensorPSI: psi,
+		Score:     drift.FleetScore(psi),
+	}
 }

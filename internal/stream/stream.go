@@ -139,6 +139,28 @@ type Prediction struct {
 	Class       int
 	Probability float64
 	Probs       []float64
+	// Open carries open-set annotations when the serving layer scores
+	// predictions against a drift calibration (see internal/drift); nil
+	// when open-set detection is disabled. Class, Probability and Probs
+	// are identical either way — scoring annotates, it never alters.
+	Open *OpenSet
+}
+
+// OpenSet is one prediction's open-set verdict: the scores beyond the
+// winning probability and whether the calibrated threshold rejected the
+// prediction as an unknown workload.
+type OpenSet struct {
+	// Margin is the gap between the top two class probabilities.
+	Margin float64
+	// Energy is the energy-style uncertainty score (see drift.ScoreProbs).
+	Energy float64
+	// FeatDist is the feature-space distance from the training
+	// distribution (see drift.FeatureStats); 0 when the calibration has
+	// no feature gate.
+	FeatDist float64
+	// Rejected marks the prediction as outside the calibrated
+	// in-distribution region — an unknown workload.
+	Rejected bool
 }
 
 // Classify returns the model's current belief, or an error before the

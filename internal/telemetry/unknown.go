@@ -1,0 +1,243 @@
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ClassUnknown is the sentinel label of out-of-distribution jobs: workloads
+// the ten Table I families do not cover, which a closed-set classifier can
+// only mislabel. UnknownJobs generates them; the drift-aware serving plane
+// (internal/drift) is scored on rejecting them.
+const ClassUnknown Class = -1
+
+// UnknownIDBase offsets out-of-distribution job IDs far above any simulated
+// labelled population, so unknown and labelled jobs can share a replay
+// without ID collisions.
+const UnknownIDBase = 1 << 20
+
+// Unknown workload archetypes. They are deliberately not small
+// perturbations of the 26 classes: each one breaks a joint-dynamics
+// invariant every training family shares, which is exactly the structure
+// the covariance embedding encodes.
+const (
+	// unknownSaturator pins the GPU near 100% with no step structure, no
+	// validation phases and a flat memory plateau — a crypto-miner-like
+	// busy loop. Training classes always burst between UtilLow and
+	// UtilHigh with a per-step sawtooth.
+	unknownSaturator = iota
+	// unknownIdler is a mostly idle GPU with rare long-period bursts — an
+	// interactive notebook or a misconfigured job. Duty cycles this low
+	// appear in no training class.
+	unknownIdler
+	// unknownOscillator swings utilization with a huge slow modulation and
+	// sub-sampling-period steps, plus heavy checkpoint stalls — dynamics
+	// amplitudes far outside every profile.
+	unknownOscillator
+	// unknownBlend interpolates two random training classes and then
+	// inverts the memory-utilization coupling, so levels look familiar
+	// while the joint sensor statistics are unseen.
+	unknownBlend
+
+	numUnknownKinds
+)
+
+// unknownProfile draws one out-of-distribution profile realisation.
+func unknownProfile(rng *rand.Rand) Profile {
+	switch rng.Intn(numUnknownKinds) {
+	case unknownSaturator:
+		return Profile{
+			StepTime:      0.5,
+			Duty:          0.995,
+			UtilHigh:      97 + 3*rng.Float64(),
+			UtilLow:       92 + 4*rng.Float64(),
+			UtilJitter:    0.3,
+			MemUtilRatio:  clamp(0.95+0.05*rng.NormFloat64(), 0.1, 1),
+			MemBaseMiB:    6000 + 4000*rng.Float64(),
+			MemActMiB:     400,
+			MemSawMiB:     2,
+			PowerEff:      1.02,
+			EpochTime:     1e7, // never validates or checkpoints
+			SlowModAmp:    0.2,
+			SlowModPeriod: 300,
+			CPUUtilPct:    8,
+			ReadMBPerStep: 0.2,
+		}
+	case unknownIdler:
+		return Profile{
+			StepTime:      4 + 5*rng.Float64(),
+			Duty:          0.04 + 0.05*rng.Float64(),
+			UtilHigh:      70 + 25*rng.Float64(),
+			UtilLow:       0.5,
+			UtilJitter:    6,
+			MemUtilRatio:  0.25,
+			MemBaseMiB:    700 + 400*rng.Float64(),
+			MemActMiB:     250,
+			MemSawMiB:     120,
+			PowerEff:      0.5,
+			EpochTime:     1e7,
+			SlowModAmp:    1,
+			SlowModPeriod: 120,
+			CPUUtilPct:    12,
+			ReadMBPerStep: 1,
+			StallRate:     0.3,
+		}
+	case unknownOscillator:
+		return Profile{
+			StepTime:      0.05,
+			Duty:          0.6,
+			UtilHigh:      55 + 20*rng.Float64(),
+			UtilLow:       10,
+			UtilJitter:    2,
+			MemUtilRatio:  0.5,
+			MemBaseMiB:    2000,
+			MemActMiB:     2500,
+			MemSawMiB:     400,
+			PowerEff:      0.85,
+			EpochTime:     240,
+			ValFrac:       0.30,
+			CkptTime:      22,
+			SlowModAmp:    30 + 15*rng.Float64(),
+			SlowModPeriod: 5 + 6*rng.Float64(),
+			CPUUtilPct:    40,
+			ReadMBPerStep: 30,
+			StallRate:     12,
+		}
+	default: // unknownBlend
+		a := ProfileFor(Class(rng.Intn(int(NumClasses))))
+		b := ProfileFor(Class(rng.Intn(int(NumClasses))))
+		l := 0.25 + 0.5*rng.Float64()
+		mix := func(x, y float64) float64 { return l*x + (1-l)*y }
+		p := Profile{
+			StepTime:      mix(a.StepTime, b.StepTime) * math.Exp(rng.NormFloat64()*0.5),
+			Duty:          clamp(mix(a.Duty, b.Duty)+rng.NormFloat64()*0.1, 0.15, 0.99),
+			UtilHigh:      clamp(mix(a.UtilHigh, b.UtilHigh), 5, 100),
+			UtilLow:       mix(a.UtilLow, b.UtilLow),
+			UtilJitter:    mix(a.UtilJitter, b.UtilJitter) * 2,
+			MemBaseMiB:    mix(a.MemBaseMiB, b.MemBaseMiB),
+			MemActMiB:     mix(a.MemActMiB, b.MemActMiB),
+			MemSawMiB:     mix(a.MemSawMiB, b.MemSawMiB) * math.Exp(rng.NormFloat64()*0.6),
+			PowerEff:      clamp(mix(a.PowerEff, b.PowerEff)*0.8, 0.4, 1.05),
+			EpochTime:     mix(a.EpochTime, b.EpochTime),
+			ValFrac:       mix(a.ValFrac, b.ValFrac),
+			CkptTime:      mix(a.CkptTime, b.CkptTime),
+			SlowModAmp:    mix(a.SlowModAmp, b.SlowModAmp) * 3,
+			SlowModPeriod: mix(a.SlowModPeriod, b.SlowModPeriod) * 0.5,
+			CPUUtilPct:    mix(a.CPUUtilPct, b.CPUUtilPct),
+			ReadMBPerStep: mix(a.ReadMBPerStep, b.ReadMBPerStep),
+			StallRate:     mix(a.StallRate, b.StallRate) * 4,
+		}
+		// Invert the memory-controller coupling: high GPU utilization with
+		// proportionally *low* memory-controller activity (and vice versa)
+		// appears in no training family, so the util×mem-util covariance
+		// cell lands outside everything the classifier saw.
+		p.MemUtilRatio = clamp(1.1-mix(a.MemUtilRatio, b.MemUtilRatio), 0.05, 1)
+		return p
+	}
+}
+
+// FleetMix plans how a driven fleet blends labelled and
+// out-of-distribution telemetry: fleet jobs [0, IDJobs) replay labelled
+// sources, [IDJobs, IDJobs+len-of-unknown-fanout) replay unknown sources.
+// wccserve's demo mode and wccload share it, so the two commands score
+// rejection against the same mix.
+type FleetMix struct {
+	// IDJobs is the number of labelled fleet jobs; fleet job k < IDJobs
+	// replays Sources[k % len(Sources)].
+	IDJobs int
+	// UnknownJobs is the number of out-of-distribution fleet jobs; fleet
+	// job IDJobs+j replays Unknown[j % len(Unknown)].
+	UnknownJobs int
+	// Sources holds the labelled source series (capped at IDJobs), and
+	// Unknown the OOD source series (at most 64 distinct; fanned out
+	// beyond that).
+	Sources []*Job
+	Unknown []*Job
+	// Fanout maps a source job ID to the fleet job IDs replaying it.
+	Fanout map[int][]int
+}
+
+// ReplaySources returns every distinct source series the mix replays, in
+// labelled-then-unknown order — the job list to hand NewReplay.
+func (m *FleetMix) ReplaySources() []*Job {
+	out := make([]*Job, 0, len(m.Sources)+len(m.Unknown))
+	out = append(out, m.Sources...)
+	return append(out, m.Unknown...)
+}
+
+// IsUnknown reports whether a fleet job ID replays an out-of-distribution
+// series under this mix.
+func (m *FleetMix) IsUnknown(fleetJob int) bool { return fleetJob >= m.IDJobs }
+
+// PlanFleetMix splits a driven fleet of the given size into labelled and
+// out-of-distribution jobs: round(unknownFrac·jobs) fleet jobs (capped so
+// at least one labelled job remains) replay UnknownJobs profiles seeded
+// from seed, the rest replay the provided labelled sources.
+func PlanFleetMix(sources []*Job, jobs int, unknownFrac float64, seed int64) (*FleetMix, error) {
+	if unknownFrac < 0 || unknownFrac > 1 {
+		return nil, fmt.Errorf("telemetry: unknown fraction %v must be in [0, 1]", unknownFrac)
+	}
+	if jobs < 1 {
+		return nil, fmt.Errorf("telemetry: need at least one fleet job, got %d", jobs)
+	}
+	if len(sources) == 0 {
+		return nil, errors.New("telemetry: no labelled source series")
+	}
+	unknown := int(math.Round(unknownFrac * float64(jobs)))
+	if unknown >= jobs {
+		unknown = jobs - 1 // keep at least one labelled job
+	}
+	m := &FleetMix{IDJobs: jobs - unknown, UnknownJobs: unknown, Sources: sources}
+	if len(m.Sources) > m.IDJobs {
+		m.Sources = m.Sources[:m.IDJobs]
+	}
+	if unknown > 0 {
+		n := unknown
+		if n > 64 {
+			n = 64
+		}
+		m.Unknown = UnknownJobs(n, seed)
+	}
+	m.Fanout = make(map[int][]int, len(m.Sources)+len(m.Unknown))
+	for k := 0; k < m.IDJobs; k++ {
+		src := m.Sources[k%len(m.Sources)]
+		m.Fanout[src.ID] = append(m.Fanout[src.ID], k)
+	}
+	for j := 0; j < unknown; j++ {
+		src := m.Unknown[j%len(m.Unknown)]
+		m.Fanout[src.ID] = append(m.Fanout[src.ID], m.IDJobs+j)
+	}
+	return m, nil
+}
+
+// UnknownJobs deterministically generates n out-of-distribution jobs from
+// the seed: single-GPU workloads with ClassUnknown labels, IDs starting at
+// UnknownIDBase, and profiles drawn from archetypes no Table I family
+// produces. They plug into Replay and GPUWindow exactly like labelled
+// jobs, so wccserve/wccload can blend them into a serving stream at any
+// fraction and score the fleet's rejection behaviour.
+func UnknownJobs(n int, seed int64) []*Job {
+	rng := rand.New(rand.NewSource(seed ^ 0x0ddba11))
+	out := make([]*Job, 0, n)
+	for i := 0; i < n; i++ {
+		jobSeed := rng.Int63()
+		jr := rand.New(rand.NewSource(jobSeed))
+		j := &Job{
+			ID:       UnknownIDBase + i,
+			Class:    ClassUnknown,
+			Seed:     jobSeed,
+			NumGPUs:  1,
+			NumNodes: 1,
+			Duration: 3600,
+			Startup:  18 + 14*jr.Float64(),
+			prof:     unknownProfile(jr),
+		}
+		j.utilOffset = []float64{jr.NormFloat64() * 1.2}
+		j.tempOffset = []float64{jr.NormFloat64() * 1.5}
+		j.powOffset = []float64{jr.NormFloat64() * 4}
+		out = append(out, j)
+	}
+	return out
+}

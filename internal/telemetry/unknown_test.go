@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"testing"
+)
+
+func TestUnknownJobsDeterministic(t *testing.T) {
+	a := UnknownJobs(8, 7)
+	b := UnknownJobs(8, 7)
+	if len(a) != 8 {
+		t.Fatalf("got %d jobs", len(a))
+	}
+	for i := range a {
+		if a[i].Seed != b[i].Seed || a[i].prof != b[i].prof {
+			t.Fatalf("job %d not deterministic", i)
+		}
+		if a[i].Class != ClassUnknown {
+			t.Fatalf("job %d class %v, want ClassUnknown", i, a[i].Class)
+		}
+		if a[i].ID != UnknownIDBase+i {
+			t.Fatalf("job %d ID %d, want %d", i, a[i].ID, UnknownIDBase+i)
+		}
+	}
+	c := UnknownJobs(8, 8)
+	same := 0
+	for i := range a {
+		if a[i].prof == c[i].prof {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical populations")
+	}
+}
+
+func TestUnknownJobsStreamable(t *testing.T) {
+	jobs := UnknownJobs(6, 3)
+	// Windows extract anywhere inside the job, with finite plausible values.
+	for _, j := range jobs {
+		w, err := j.GPUWindow(0, 120, 60)
+		if err != nil {
+			t.Fatalf("job %d: %v", j.ID, err)
+		}
+		for i := 0; i < w.Rows; i++ {
+			row := w.Row(i)
+			if row[UtilizationGPUPct] < 0 || row[UtilizationGPUPct] > 100 {
+				t.Fatalf("job %d sample %d: utilization %v out of range", j.ID, i, row[UtilizationGPUPct])
+			}
+			if row[MemoryUsedMiB] < 0 || row[MemoryUsedMiB] > GPUMemoryTotalMiB {
+				t.Fatalf("job %d sample %d: memory %v out of range", j.ID, i, row[MemoryUsedMiB])
+			}
+		}
+	}
+	// They ride a Replay alongside labelled jobs without ID collisions.
+	sim, err := NewSimulator(Config{Seed: 1, Scale: 0.02, GapRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mixed []*Job
+	for _, j := range sim.Jobs() {
+		if j.Duration >= 200 {
+			mixed = append(mixed, j)
+		}
+		if len(mixed) == 4 {
+			break
+		}
+	}
+	mixed = append(mixed, jobs...)
+	r, err := NewReplay(mixed, 0, 120, 180)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for {
+		s, ok := r.Next()
+		if !ok {
+			break
+		}
+		seen[s.JobID] = true
+	}
+	for _, j := range jobs {
+		if !seen[j.ID] {
+			t.Fatalf("unknown job %d contributed no samples", j.ID)
+		}
+	}
+}

@@ -20,8 +20,13 @@
 //     health and Prometheus-style metrics (shard-labelled over a sharded
 //     core), graceful drain (wccserve -listen serves it, cmd/wccload
 //     load-tests it; docs/API.md is the request/response reference).
+//   - Open-set serving: TrainRFCov also calibrates a drift.Calibration
+//     (rejection threshold + input reference histograms), so every fleet
+//     built from the result flags unknown workloads, and DriftStats /
+//     GET /v1/drift report input drift against the training distribution.
 //   - SaveModel / LoadModel: persist a trained RF-Cov pipeline as a
-//     versioned .wcc artifact (model + scaler + provenance) and restore it,
+//     versioned .wcc artifact (model + scaler + drift calibration +
+//     provenance) and restore it,
 //     so serving starts in milliseconds instead of a training run;
 //     LoadedModel.NewFleet builds the serving monitor straight from the
 //     artifact, and fleet.Monitor.SwapClassifier rolls a newer artifact
@@ -40,8 +45,10 @@ import (
 	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/drift"
 	"repro/internal/fleet"
 	"repro/internal/forest"
+	"repro/internal/mat"
 	"repro/internal/metrics"
 	"repro/internal/preprocess"
 	"repro/internal/server"
@@ -93,6 +100,12 @@ type RFCovResult struct {
 	// standardised with; serving paths reuse it so live windows are
 	// preprocessed exactly as the model was trained.
 	Scaler *preprocess.StandardScaler
+	// Drift is the open-set calibration fitted alongside the model: a
+	// rejection threshold calibrated on the held-out test split's
+	// predicted probabilities, and input reference histograms over the
+	// raw training windows. Serving fleets built from this result flag
+	// unknown workloads and report input drift (see internal/drift).
+	Drift *drift.Calibration
 }
 
 // TrainRFCov runs the paper's strongest baseline end to end: standardise,
@@ -106,9 +119,17 @@ func TrainRFCov(ds *Dataset, trees int, seed int64) (*RFCovResult, error) {
 	if err := f.Fit(fp.TrainX, fp.TrainY, int(telemetry.NumClasses)); err != nil {
 		return nil, err
 	}
-	pred, err := f.Predict(fp.TestX)
+	// One batched inference pass serves both the accuracy report and the
+	// drift calibration below: Predict is the argmax of these very rows
+	// (bit-identical per forest's contract), so deriving it avoids scoring
+	// the test split twice.
+	probs, err := f.PredictProbaBatch(fp.TestX)
 	if err != nil {
 		return nil, err
+	}
+	pred := make([]int, probs.Rows)
+	for i := range pred {
+		pred[i] = mat.ArgMax(probs.Row(i))
 	}
 	acc, err := metrics.Accuracy(fp.TestY, pred)
 	if err != nil {
@@ -122,7 +143,20 @@ func TrainRFCov(ds *Dataset, trees int, seed int64) (*RFCovResult, error) {
 	for _, c := range telemetry.AllClasses() {
 		names[int(c)] = c.Name()
 	}
-	return &RFCovResult{Accuracy: acc, Confusion: cm, Model: f, ClassNames: names, Scaler: fp.Scaler}, nil
+	// Open-set calibration: the rejection threshold comes from the held-out
+	// test probabilities and feature distances, the feature statistics from
+	// the training embeddings, and the drift reference from the raw
+	// training windows.
+	cal, err := drift.Fit(drift.FitInput{
+		Probs:           probs,
+		TrainFeatures:   fp.TrainX,
+		HeldOutFeatures: fp.TestX,
+		RawSamples:      core.RawSensorSamples(ds.Challenge.Train.X),
+	}, drift.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &RFCovResult{Accuracy: acc, Confusion: cm, Model: f, ClassNames: names, Scaler: fp.Scaler, Drift: cal}, nil
 }
 
 // NewFleet builds a fleet monitor that serves the trained model over live
@@ -140,6 +174,7 @@ func NewFleet(ds *Dataset, res *RFCovResult, shards int) (*fleet.Monitor, error)
 		Scaler:  res.Scaler,
 		Model:   res.Model,
 		Shards:  shards,
+		Drift:   res.Drift,
 	})
 }
 
@@ -156,6 +191,7 @@ func NewShardedFleet(ds *Dataset, res *RFCovResult, shards int) (*shard.Core, er
 		Scaler:  res.Scaler,
 		Model:   res.Model,
 		Shards:  shards,
+		Drift:   res.Drift,
 	})
 }
 
@@ -196,6 +232,7 @@ func SaveModel(path string, ds *Dataset, res *RFCovResult) error {
 			Tool:        "repro.SaveModel",
 		},
 		Scaler: res.Scaler,
+		Drift:  res.Drift,
 		Model:  res.Model,
 	})
 }
@@ -245,6 +282,7 @@ func (lm *LoadedModel) NewFleet(shards int) (*fleet.Monitor, error) {
 		Scaler:  lm.Artifact.Scaler,
 		Model:   lm.Classifier(),
 		Shards:  shards,
+		Drift:   lm.Artifact.Drift,
 	})
 }
 
@@ -258,6 +296,7 @@ func (lm *LoadedModel) NewShardedFleet(shards int) (*shard.Core, error) {
 		Scaler:  lm.Artifact.Scaler,
 		Model:   lm.Classifier(),
 		Shards:  shards,
+		Drift:   lm.Artifact.Drift,
 	})
 }
 

@@ -247,6 +247,16 @@ func TestSaveLoadModelFacade(t *testing.T) {
 	if meta.Accuracy != res.Accuracy {
 		t.Fatalf("accuracy %v, want %v", meta.Accuracy, res.Accuracy)
 	}
+	if res.Drift == nil {
+		t.Fatal("TrainRFCov did not calibrate open-set drift")
+	}
+	if lm.Artifact.Drift == nil {
+		t.Fatal("drift calibration did not survive the artifact")
+	}
+	if lm.Artifact.Drift.Threshold != res.Drift.Threshold {
+		t.Fatalf("threshold drifted through the artifact: %+v vs %+v",
+			lm.Artifact.Drift.Threshold, res.Drift.Threshold)
+	}
 
 	// Serve identical telemetry through a fleet from the in-memory model and
 	// one from the artifact; predictions must agree bit for bit.
@@ -303,6 +313,17 @@ func TestSaveLoadModelFacade(t *testing.T) {
 				t.Fatalf("job %d class %d: %v vs %v (not bit-identical)", j.ID, c, got.Probs[c], want.Probs[c])
 			}
 		}
+		// Both fleets score open-set, and the artifact path agrees with the
+		// in-memory calibration verdict for verdict.
+		if want.Open == nil || got.Open == nil {
+			t.Fatalf("job %d: missing open-set annotation (mem %v, artifact %v)", j.ID, want.Open, got.Open)
+		}
+		if *want.Open != *got.Open {
+			t.Fatalf("job %d: annotations differ: %+v vs %+v", j.ID, want.Open, got.Open)
+		}
+	}
+	if st := mArt.DriftStats(); !st.Enabled || st.Samples == 0 {
+		t.Fatalf("artifact fleet drift stats: %+v", st)
 	}
 
 	if _, err := repro.LoadModel(filepath.Join(t.TempDir(), "missing.wcc")); err == nil {
