@@ -33,6 +33,7 @@ import (
 	"repro/internal/stream"
 	"repro/internal/svm"
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 	"repro/internal/xgb"
 )
 
@@ -485,6 +486,8 @@ func BenchmarkServingForest(b *testing.B) {
 	}
 	b.Run("single256", func(b *testing.B) {
 		row := mat.New(1, batch.Cols)
+		b.ReportAllocs()
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for r := 0; r < batch.Rows; r++ {
 				copy(row.Data, batch.Row(r))
@@ -496,6 +499,7 @@ func BenchmarkServingForest(b *testing.B) {
 		b.ReportMetric(float64(batch.Rows*b.N)/b.Elapsed().Seconds(), "rows/s")
 	})
 	b.Run("batched256", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := f.PredictProbaBatch(batch); err != nil {
 				b.Fatal(err)
@@ -516,6 +520,8 @@ func BenchmarkServingXGB(b *testing.B) {
 	}
 	b.Run("single256", func(b *testing.B) {
 		row := mat.New(1, batch.Cols)
+		b.ReportAllocs()
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for r := 0; r < batch.Rows; r++ {
 				copy(row.Data, batch.Row(r))
@@ -527,6 +533,7 @@ func BenchmarkServingXGB(b *testing.B) {
 		b.ReportMetric(float64(batch.Rows*b.N)/b.Elapsed().Seconds(), "rows/s")
 	})
 	b.Run("batched256", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := m.PredictProbaBatch(batch); err != nil {
 				b.Fatal(err)
@@ -548,6 +555,7 @@ func BenchmarkFleetThroughput(b *testing.B) {
 
 	for _, jobs := range []int{16, 64, 256} {
 		b.Run(map[int]string{16: "jobs16", 64: "jobs64", 256: "jobs256"}[jobs], func(b *testing.B) {
+			b.ReportAllocs()
 			var ingested, classed uint64
 			for i := 0; i < b.N; i++ {
 				m, err := fleet.New(fleet.Config{
@@ -641,6 +649,7 @@ func BenchmarkShardedIngest(b *testing.B) {
 
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
 			var ingested, classed uint64
 			for i := 0; i < b.N; i++ {
 				core, err := shard.New(shard.Config{
@@ -708,11 +717,12 @@ func BenchmarkShardedIngest(b *testing.B) {
 	}
 }
 
-// BenchmarkServerIngestHTTP measures the HTTP serving layer end to end:
-// batched NDJSON ingest over a real loopback connection into the bounded
-// queue, worker-pool ingest, and per-request accounting — the acceptance
-// path cmd/wccload drives at scale.
-func BenchmarkServerIngestHTTP(b *testing.B) {
+// serverIngestBench measures the HTTP serving layer end to end: batched
+// ingest over a real loopback connection into the bounded queue,
+// worker-pool ingest, and per-request accounting — the acceptance path
+// cmd/wccload drives at scale. The payload is one 256-sample batch spread
+// over 32 jobs, replayed repeatedly, encoded in the requested framing.
+func serverIngestBench(b *testing.B, contentType string) {
 	fixtures(b)
 	var scaler preprocess.StandardScaler
 	if _, err := scaler.FitTransform(fixMid.Train.X.Flatten()); err != nil {
@@ -735,32 +745,39 @@ func BenchmarkServerIngestHTTP(b *testing.B) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	// One 256-line batch spread over 32 jobs, replayed repeatedly.
 	const lines, jobs = 256, 32
 	src := fixSim.Jobs()[0]
 	w, err := src.GPUWindow(0, 0, lines)
 	if err != nil {
 		b.Fatal(err)
 	}
-	var body bytes.Buffer
-	for t := 0; t < lines; t++ {
-		line, err := json.Marshal(struct {
-			Job    int       `json:"job"`
-			Values []float64 `json:"values"`
-		}{t % jobs, w.Row(t)})
-		if err != nil {
-			b.Fatal(err)
+	var payload []byte
+	if contentType == wire.IngestContentType {
+		for t := 0; t < lines; t++ {
+			payload = wire.AppendIngestRecord(payload, int64(t%jobs), w.Row(t))
 		}
-		body.Write(line)
-		body.WriteByte('\n')
+	} else {
+		var body bytes.Buffer
+		for t := 0; t < lines; t++ {
+			line, err := json.Marshal(struct {
+				Job    int       `json:"job"`
+				Values []float64 `json:"values"`
+			}{t % jobs, w.Row(t)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			body.Write(line)
+			body.WriteByte('\n')
+		}
+		payload = body.Bytes()
 	}
-	payload := body.Bytes()
 	client := &http.Client{}
 
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.SetBytes(int64(len(payload)))
 	for i := 0; i < b.N; i++ {
-		resp, err := client.Post(ts.URL+"/v1/ingest", "application/x-ndjson", bytes.NewReader(payload))
+		resp, err := client.Post(ts.URL+"/v1/ingest", contentType, bytes.NewReader(payload))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -771,4 +788,15 @@ func BenchmarkServerIngestHTTP(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(lines)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// BenchmarkServerIngestHTTP is the NDJSON framing over the serving layer.
+func BenchmarkServerIngestHTTP(b *testing.B) {
+	serverIngestBench(b, "application/x-ndjson")
+}
+
+// BenchmarkServerIngestHTTPBinary is the same path under the
+// length-prefixed binary framing (internal/wire).
+func BenchmarkServerIngestHTTPBinary(b *testing.B) {
+	serverIngestBench(b, wire.IngestContentType)
 }

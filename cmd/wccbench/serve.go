@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/forest"
+	"repro/internal/mat"
+	"repro/internal/preprocess"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// runServeBench (-table serve) measures end-to-end ingest throughput
+// through the real HTTP serving layer once per framing — NDJSON lines and
+// the length-prefixed binary records of internal/wire — against an
+// in-process fleet with a synthetic model. It is a quick serving-plane
+// health check runnable anywhere; the regression-gated numbers live in the
+// repo's go-test benchmarks (see BENCHMARKS.md).
+func runServeBench() error {
+	const (
+		window  = 24
+		sensors = 7
+		jobs    = 32
+		batch   = 256
+		rounds  = 300
+	)
+	rng := rand.New(rand.NewSource(1))
+	train := mat.New(64, window*sensors)
+	for i := range train.Data {
+		train.Data[i] = rng.NormFloat64()*10 + 30
+	}
+	var scaler preprocess.StandardScaler
+	if _, err := scaler.FitTransform(train); err != nil {
+		return err
+	}
+	dim := preprocess.CovarianceDim(sensors)
+	x := mat.New(400, dim)
+	y := make([]int, x.Rows)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for i := range y {
+		y[i] = rng.Intn(8)
+	}
+	model := forest.New(forest.Config{NumTrees: 25, Bootstrap: true, Seed: 3})
+	if err := model.Fit(x, y, 8); err != nil {
+		return err
+	}
+
+	framings := []struct{ name, contentType string }{
+		{"ndjson", "application/x-ndjson"},
+		{"binary", wire.IngestContentType},
+	}
+	sample := make([]float64, sensors)
+	for _, fr := range framings {
+		m, err := fleet.New(fleet.Config{Window: window, Sensors: sensors, Scaler: &scaler, Model: model})
+		if err != nil {
+			return err
+		}
+		srv, err := server.New(server.Config{Monitor: m, TickEvery: 5 * time.Millisecond, QueueDepth: 512, Workers: 4})
+		if err != nil {
+			return err
+		}
+		ts := httptest.NewServer(srv.Handler())
+
+		// One identical batch per framing, replayed round after round; the
+		// sample bits match across framings, so both fleets do the same
+		// downstream work and the delta is pure parse-and-frame cost.
+		bodyRNG := rand.New(rand.NewSource(2))
+		var body []byte
+		var lines bytes.Buffer
+		for i := 0; i < batch; i++ {
+			for c := range sample {
+				sample[c] = bodyRNG.NormFloat64()*10 + 30
+			}
+			job := i % jobs
+			if fr.contentType == wire.IngestContentType {
+				body = wire.AppendIngestRecord(body, int64(job), sample)
+			} else {
+				line, err := json.Marshal(struct {
+					Job    int       `json:"job"`
+					Values []float64 `json:"values"`
+				}{job, sample})
+				if err != nil {
+					return err
+				}
+				lines.Write(line)
+				lines.WriteByte('\n')
+			}
+		}
+		if fr.contentType != wire.IngestContentType {
+			body = lines.Bytes()
+		}
+
+		client := &http.Client{}
+		t0 := time.Now()
+		for r := 0; r < rounds; r++ {
+			resp, err := client.Post(ts.URL+"/v1/ingest", fr.contentType, bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("%s ingest round %d: status %d", fr.name, r, resp.StatusCode)
+			}
+		}
+		elapsed := time.Since(t0)
+		fmt.Printf("  %-6s  %9.0f samples/s  (%d bytes/batch, %d samples in %s)\n",
+			fr.name, float64(rounds*batch)/elapsed.Seconds(), len(body), rounds*batch,
+			elapsed.Round(time.Millisecond))
+
+		ts.Close()
+		if err := srv.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

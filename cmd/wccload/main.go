@@ -2,12 +2,14 @@
 // telemetry over real loopback (or network) connections — the load
 // generator for the serving layer. It asks the server for its window shape
 // (/healthz), replays the same simulated jobs wccserve's demo mode would,
-// fans them out to the requested fleet size, and streams batched NDJSON
-// ingest requests from several concurrent connections, honouring the
-// server's 429 + Retry-After backpressure. Each fleet job's samples always
-// ride the same connection, so per-job sample order is preserved end to
-// end and server-side predictions are bit-identical to an in-process
-// fleet.Monitor fed the same replay.
+// fans them out to the requested fleet size, and streams batched ingest
+// requests — NDJSON lines or, with -framing binary, the length-prefixed
+// binary records of internal/wire — from several concurrent connections,
+// honouring the server's 429 + Retry-After backpressure. Each fleet job's
+// samples always ride the same connection, so per-job sample order is
+// preserved end to end and server-side predictions are bit-identical to an
+// in-process fleet.Monitor fed the same replay, whichever framing carried
+// them.
 //
 // It reports client-observed ingest throughput and request latency
 // percentiles, then reads the fleet snapshot back and scores the server's
@@ -41,6 +43,7 @@ import (
 
 	"repro/internal/drift"
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -50,7 +53,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed; must match the serving model's training provenance")
 	start := flag.Float64("start", 120, "job time at which replay begins (skips the class-agnostic startup phase)")
 	seconds := flag.Float64("seconds", 120, "seconds of telemetry to replay per job (must exceed the server's window)")
-	batch := flag.Int("batch", 256, "NDJSON lines per ingest request")
+	batch := flag.Int("batch", 256, "samples per ingest request")
+	framing := flag.String("framing", "ndjson", "ingest framing: ndjson or binary (length-prefixed records, Content-Type application/x-wcc-ingest)")
 	conns := flag.Int("conns", runtime.GOMAXPROCS(0), "concurrent client connections; each fleet job is pinned to one connection")
 	unknownFrac := flag.Float64("unknown-frac", 0, "fraction of fleet jobs driven from out-of-distribution workload profiles; their rejection recall/precision is scored against the server's unknown verdicts")
 	flag.Parse()
@@ -58,7 +62,7 @@ func main() {
 	if err := run(config{
 		addr: *addr, jobs: *jobs, scale: *scale, seed: *seed,
 		start: *start, seconds: *seconds, batch: *batch, conns: *conns,
-		unknownFrac: *unknownFrac,
+		unknownFrac: *unknownFrac, framing: *framing,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "wccload:", err)
 		os.Exit(1)
@@ -74,6 +78,7 @@ type config struct {
 	batch          int
 	conns          int
 	unknownFrac    float64
+	framing        string
 }
 
 // health mirrors the server's /healthz payload.
@@ -126,6 +131,14 @@ func run(c config) error {
 	if c.jobs < 1 || c.batch < 1 {
 		return fmt.Errorf("need jobs ≥ 1 and batch ≥ 1")
 	}
+	contentType := "application/x-ndjson"
+	switch c.framing {
+	case "", "ndjson":
+	case "binary":
+		contentType = wire.IngestContentType
+	default:
+		return fmt.Errorf("unknown -framing %q (want ndjson or binary)", c.framing)
+	}
 	if c.conns < 1 {
 		c.conns = 1
 	}
@@ -172,7 +185,7 @@ func run(c config) error {
 	fanout := mix.Fanout
 
 	// Materialise each connection's request bodies up front, so the timed
-	// phase measures serving, not JSON assembly. Fleet job k is pinned to
+	// phase measures serving, not sample encoding. Fleet job k is pinned to
 	// connection k % conns, preserving per-job sample order.
 	bodies := make([][][]byte, c.conns)
 	cur := make([][]byte, c.conns)
@@ -190,20 +203,27 @@ func run(c config) error {
 		if !ok {
 			break
 		}
-		line, err := json.Marshal(struct {
-			Job    int       `json:"job"`
-			Values []float64 `json:"values"`
-		}{0, s.Values})
-		if err != nil {
-			return err
+		var line []byte
+		if contentType != wire.IngestContentType {
+			line, err = json.Marshal(struct {
+				Job    int       `json:"job"`
+				Values []float64 `json:"values"`
+			}{0, s.Values})
+			if err != nil {
+				return err
+			}
 		}
-		// Patch the job ID per fan-out target instead of re-marshalling the
-		// seven floats each time.
 		for _, k := range fanout[s.JobID] {
 			w := k % c.conns
-			patched := append([]byte(`{"job":`+strconv.Itoa(k)+`,`), line[len(`{"job":0,`):]...)
-			cur[w] = append(cur[w], patched...)
-			cur[w] = append(cur[w], '\n')
+			if contentType == wire.IngestContentType {
+				cur[w] = wire.AppendIngestRecord(cur[w], int64(k), s.Values)
+			} else {
+				// Patch the job ID per fan-out target instead of
+				// re-marshalling the seven floats each time.
+				patched := append([]byte(`{"job":`+strconv.Itoa(k)+`,`), line[len(`{"job":0,`):]...)
+				cur[w] = append(cur[w], patched...)
+				cur[w] = append(cur[w], '\n')
+			}
 			totalSamples++
 			if lines[w]++; lines[w] == c.batch {
 				flush(w)
@@ -222,8 +242,12 @@ func run(c config) error {
 	if hl.Shards > 0 {
 		serving = fmt.Sprintf("%d serving shards", hl.Shards)
 	}
-	fmt.Printf("driving %d fleet jobs (%d out-of-distribution) over %d telemetry series into %s: %d samples in %d requests (%d-line batches) across %d connections\n",
-		c.jobs, mix.UnknownJobs, replay.NumJobs(), serving, totalSamples, requests, c.batch, c.conns)
+	framingName := "ndjson"
+	if contentType == wire.IngestContentType {
+		framingName = "binary"
+	}
+	fmt.Printf("driving %d fleet jobs (%d out-of-distribution) over %d telemetry series into %s: %d samples in %d requests (%d-sample %s batches) across %d connections\n",
+		c.jobs, mix.UnknownJobs, replay.NumJobs(), serving, totalSamples, requests, c.batch, framingName, c.conns)
 
 	stats := make([]connStats, c.conns)
 	var wg sync.WaitGroup
@@ -232,7 +256,7 @@ func run(c config) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			sendAll(client, c.addr, bodies[w], &stats[w])
+			sendAll(client, c.addr, contentType, bodies[w], &stats[w])
 		}(w)
 	}
 	wg.Wait()
@@ -323,11 +347,11 @@ func fetchDrift(client *http.Client, addr string) (*driftState, error) {
 
 // sendAll posts one connection's bodies in order, retrying 429s after the
 // server's advertised backoff.
-func sendAll(client *http.Client, addr string, bodies [][]byte, st *connStats) {
+func sendAll(client *http.Client, addr, contentType string, bodies [][]byte, st *connStats) {
 	for _, body := range bodies {
 		for {
 			reqStart := time.Now()
-			resp, err := client.Post(addr+"/v1/ingest", "application/x-ndjson", bytes.NewReader(body))
+			resp, err := client.Post(addr+"/v1/ingest", contentType, bytes.NewReader(body))
 			if err != nil {
 				st.firstErr = err.Error()
 				return

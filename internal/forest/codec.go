@@ -82,5 +82,6 @@ func Decode(r io.Reader) (*Classifier, error) {
 		}
 		f.trees[i] = t
 	}
+	f.flat = compileFlat(f.trees, f.numClasses)
 	return f, nil
 }

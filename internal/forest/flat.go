@@ -1,0 +1,182 @@
+package forest
+
+import (
+	"repro/internal/mat"
+	"repro/internal/tree"
+)
+
+// flatForest is the compiled inference form of a fitted ensemble: every
+// tree's nodes in one contiguous structure-of-arrays layout, children laid
+// out adjacently so the traversal picks a child by offset arithmetic
+// instead of chasing per-node pointers. It is built once — at Fit or Decode
+// time — and is immutable afterwards, so ticks on many goroutines can walk
+// it without synchronisation.
+//
+// Per node:
+//
+//	feat[id]  split feature index, or -1 for a leaf
+//	thr[id]   split threshold (unused for leaves)
+//	kids[id]  internal node: index of the left child; the right child is
+//	          always kids[id]+1 (breadth-first relayout guarantees the
+//	          pair is adjacent). Leaf: offset of the node's class
+//	          distribution in probs.
+//
+// probs concatenates every leaf's numClasses-wide distribution. The walk
+// uses the same `value <= threshold` comparison as the pointer tree — NaN
+// routes right on both — and the batch kernel accumulates tree
+// contributions in ensemble order followed by one scaling, exactly as
+// predictProbaInto, so results are bit-identical to the pointer paths.
+type flatForest struct {
+	numClasses int
+	roots      []int32
+	feat       []int32
+	thr        []float64
+	kids       []int32
+	probs      []float64
+}
+
+// compileFlat flattens the ensemble. Each tree is relaid breadth-first so
+// sibling children occupy adjacent slots; node count and leaf distributions
+// are preserved exactly.
+func compileFlat(trees []*tree.Classifier, numClasses int) *flatForest {
+	f := &flatForest{
+		numClasses: numClasses,
+		roots:      make([]int32, 0, len(trees)),
+	}
+	type pending struct {
+		orig int
+		slot int32
+	}
+	var queue []pending
+	for _, t := range trees {
+		nodes := t.ExportNodes()
+		root := int32(len(f.feat))
+		f.roots = append(f.roots, root)
+		f.feat = append(f.feat, 0)
+		f.thr = append(f.thr, 0)
+		f.kids = append(f.kids, 0)
+		queue = append(queue[:0], pending{orig: 0, slot: root})
+		for len(queue) > 0 {
+			p := queue[0]
+			queue = queue[1:]
+			nd := &nodes[p.orig]
+			if nd.Leaf {
+				f.feat[p.slot] = -1
+				f.kids[p.slot] = int32(len(f.probs))
+				f.probs = append(f.probs, nd.Probs...)
+				continue
+			}
+			left := int32(len(f.feat))
+			f.feat = append(f.feat, 0, 0)
+			f.thr = append(f.thr, 0, 0)
+			f.kids = append(f.kids, 0, 0)
+			f.feat[p.slot] = int32(nd.Feature)
+			f.thr[p.slot] = nd.Threshold
+			f.kids[p.slot] = left
+			queue = append(queue, pending{orig: nd.Left, slot: left}, pending{orig: nd.Right, slot: left + 1})
+		}
+	}
+	return f
+}
+
+// scoreBlock accumulates the ensemble's averaged leaf distributions for
+// rows [lo, hi) into out. Tree-outer iteration keeps the flat arrays hot in
+// cache while each tree sweeps the block, and the sweep walks four rows at
+// a time: each walk is a serial chain of data-dependent loads, so four
+// independent lanes let the core overlap their latencies. Lanes that reach
+// a leaf early idle (their feat sentinel goes negative) until the slowest
+// lane finishes. Per-row accumulation order and the final scaling match
+// predictProbaInto bit for bit; interleaving rows never reorders any
+// single row's additions.
+func (f *flatForest) scoreBlock(x, out *mat.Matrix, lo, hi int) {
+	nc := f.numClasses
+	feat, thr, kids, probs := f.feat, f.thr, f.kids, f.probs
+	xd, xc := x.Data, x.Cols
+	od, oc := out.Data, out.Cols
+	for _, root := range f.roots {
+		i := lo
+		for ; i+4 <= hi; i += 4 {
+			r0 := xd[(i+0)*xc : (i+1)*xc]
+			r1 := xd[(i+1)*xc : (i+2)*xc]
+			r2 := xd[(i+2)*xc : (i+3)*xc]
+			r3 := xd[(i+3)*xc : (i+4)*xc]
+			id0, id1, id2, id3 := root, root, root, root
+			f0, f1, f2, f3 := feat[id0], feat[id1], feat[id2], feat[id3]
+			for f0 >= 0 || f1 >= 0 || f2 >= 0 || f3 >= 0 {
+				if f0 >= 0 {
+					step := int32(1)
+					if r0[f0] <= thr[id0] {
+						step = 0
+					}
+					id0 = kids[id0] + step
+					f0 = feat[id0]
+				}
+				if f1 >= 0 {
+					step := int32(1)
+					if r1[f1] <= thr[id1] {
+						step = 0
+					}
+					id1 = kids[id1] + step
+					f1 = feat[id1]
+				}
+				if f2 >= 0 {
+					step := int32(1)
+					if r2[f2] <= thr[id2] {
+						step = 0
+					}
+					id2 = kids[id2] + step
+					f2 = feat[id2]
+				}
+				if f3 >= 0 {
+					step := int32(1)
+					if r3[f3] <= thr[id3] {
+						step = 0
+					}
+					id3 = kids[id3] + step
+					f3 = feat[id3]
+				}
+			}
+			addLeaf(od[(i+0)*oc:(i+0)*oc+nc], probs, int(kids[id0]), nc)
+			addLeaf(od[(i+1)*oc:(i+1)*oc+nc], probs, int(kids[id1]), nc)
+			addLeaf(od[(i+2)*oc:(i+2)*oc+nc], probs, int(kids[id2]), nc)
+			addLeaf(od[(i+3)*oc:(i+3)*oc+nc], probs, int(kids[id3]), nc)
+		}
+		for ; i < hi; i++ {
+			row := xd[i*xc : (i+1)*xc]
+			id := root
+			for {
+				ft := feat[id]
+				if ft < 0 {
+					break
+				}
+				// Conditional-select phrasing (not a guarded increment)
+				// so the compiler emits SETcc instead of a branch: the
+				// split direction is data-dependent and near 50/50.
+				// NaN routes right, exactly like `!(v <= thr)`.
+				step := int32(1)
+				if row[ft] <= thr[id] {
+					step = 0
+				}
+				id = kids[id] + step
+			}
+			addLeaf(od[i*oc:i*oc+nc], probs, int(kids[id]), nc)
+		}
+	}
+	inv := 1.0 / float64(len(f.roots))
+	for i := lo; i < hi; i++ {
+		dst := od[i*oc : i*oc+nc]
+		for c := range dst {
+			dst[c] *= inv
+		}
+	}
+}
+
+// addLeaf adds the nc-wide leaf distribution at probs[off:] into dst. The
+// full-slice reslices let the compiler drop bounds checks from the add loop.
+func addLeaf(dst, probs []float64, off, nc int) {
+	src := probs[off : off+nc : off+nc]
+	dst = dst[:nc:nc]
+	for c, v := range src {
+		dst[c] += v
+	}
+}

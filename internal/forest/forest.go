@@ -47,6 +47,10 @@ type Classifier struct {
 	oobIdx     [][]int // per-tree out-of-bag row indices
 	numClasses int
 	numFeats   int
+	// flat is the compiled contiguous inference form, built once at Fit or
+	// Decode time and immutable afterwards; PredictProbaBatch walks it
+	// instead of the pointer trees. See flat.go.
+	flat *flatForest
 }
 
 // New returns an unfitted forest.
@@ -138,6 +142,7 @@ func (f *Classifier) Fit(x *mat.Matrix, y []int, numClasses int) error {
 			return err
 		}
 	}
+	f.flat = compileFlat(f.trees, numClasses)
 	return nil
 }
 
@@ -175,12 +180,12 @@ func (f *Classifier) PredictProba(x *mat.Matrix) (*mat.Matrix, error) {
 	return out, nil
 }
 
-// predictProbaBlock scores rows [lo, hi) with tree-outer iteration: each
-// tree's node array stays hot in cache while it sweeps the whole block,
-// which is what makes the batched path faster than per-row calls even on a
-// single core. Every accumulator still receives its tree contributions in
-// ensemble order followed by one scaling, exactly as predictProbaInto, so
-// results are bit-identical to the serial path.
+// predictProbaBlock scores rows [lo, hi) with tree-outer iteration over the
+// pointer trees. It is the fallback when no flat form was compiled (a
+// zero-value Classifier populated by hand); fitted and decoded forests take
+// flatForest.scoreBlock instead. Every accumulator receives its tree
+// contributions in ensemble order followed by one scaling, exactly as
+// predictProbaInto, so results are bit-identical to the serial path.
 func (f *Classifier) predictProbaBlock(x, out *mat.Matrix, lo, hi int) error {
 	for _, t := range f.trees {
 		for i := lo; i < hi; i++ {
@@ -207,13 +212,24 @@ func (f *Classifier) predictProbaBlock(x, out *mat.Matrix, lo, hi int) error {
 // PredictProbaBatch is the serving hot path for fleet-scale batched
 // inference: one call scores the whole matrix, splitting rows into
 // contiguous blocks over a bounded worker pool (cfg.Workers, 0 = GOMAXPROCS)
-// and sweeping each block tree by tree. Results are bit-identical to
-// PredictProba.
+// and sweeping each block tree by tree over the flat node arrays compiled
+// at Fit/Decode time (see flat.go) — no per-node pointer dereferences.
+// Results are bit-identical to PredictProba.
 func (f *Classifier) PredictProbaBatch(x *mat.Matrix) (*mat.Matrix, error) {
 	if len(f.trees) == 0 {
 		return nil, errors.New("forest: not fitted")
 	}
+	if x.Cols != f.numFeats {
+		return nil, fmt.Errorf("forest: %d features, fitted on %d", x.Cols, f.numFeats)
+	}
 	out := mat.New(x.Rows, f.numClasses)
+	if f.flat != nil {
+		_ = mat.ParallelRowBlocks(x.Rows, f.cfg.Workers, func(lo, hi int) error {
+			f.flat.scoreBlock(x, out, lo, hi)
+			return nil
+		})
+		return out, nil
+	}
 	err := mat.ParallelRowBlocks(x.Rows, f.cfg.Workers, func(lo, hi int) error {
 		return f.predictProbaBlock(x, out, lo, hi)
 	})

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/wire"
 )
 
 // FuzzParseIngestLine fuzzes the NDJSON line parser with hostile input:
@@ -75,6 +76,104 @@ func FuzzParseIngestLine(f *testing.F) {
 			if errp.Line != 1 || errp.Error == "" {
 				t.Fatalf("malformed line error: %+v", errp)
 			}
+		}
+	})
+}
+
+// FuzzParseIngestLineFast is the differential contract of the
+// zero-allocation scanner: on any input it must never panic, and whenever
+// it accepts a line, encoding/json (parseIngestLine) must also accept it
+// with the same job and bit-identical values — the fast path may only ever
+// decline and fall back, never disagree.
+func FuzzParseIngestLineFast(f *testing.F) {
+	seeds := []string{
+		`{"job":1,"values":[1,2,3]}`,
+		`{"job":0,"values":[0.5]}`,
+		`{"job":17,"values":[-1.25e-3,2E+4,0.0]}`,
+		`{"job":1, "values":[1]}`,
+		`{"job":01,"values":[1]}`,
+		`{"job":-1,"values":[1]}`,
+		`{"job":1,"values":[01]}`,
+		`{"job":1,"values":[1.]}`,
+		`{"job":1,"values":[.5]}`,
+		`{"job":1,"values":[+5]}`,
+		`{"job":1,"values":[0x1p3]}`,
+		`{"job":1,"values":[1e999]}`,
+		`{"job":1,"values":[5e-324,-0.0,1e308]}`,
+		`{"job":999999999999999999,"values":[1]}`,
+		`{"job":9999999999999999999,"values":[1]}`,
+		`{"job":1,"values":[]}`,
+		`{"job":1,"values":[1],"x":2}`,
+		`{"values":[1],"job":1}`,
+		`{"job":1,"values":[1]}{"job":2,"values":[2]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		trimmed := bytes.TrimSpace(raw)
+		if len(trimmed) == 0 {
+			return
+		}
+		sm, _, ok := parseIngestLineFast(1, trimmed, nil)
+		if !ok {
+			return
+		}
+		want, errp, wok := parseIngestLine(1, trimmed)
+		if !wok {
+			t.Fatalf("fast path accepted %q, stdlib rejected it: %v", trimmed, errp)
+		}
+		if sm.job != want.job {
+			t.Fatalf("%q: fast job %d, stdlib job %d", trimmed, sm.job, want.job)
+		}
+		if len(sm.values) != len(want.values) {
+			t.Fatalf("%q: fast %d values, stdlib %d", trimmed, len(sm.values), len(want.values))
+		}
+		for i := range sm.values {
+			if math.Float64bits(sm.values[i]) != math.Float64bits(want.values[i]) {
+				t.Fatalf("%q value %d: fast %v, stdlib %v", trimmed, i, sm.values[i], want.values[i])
+			}
+		}
+	})
+}
+
+// FuzzBinaryIngestFrame fuzzes the binary framing end to end over a real
+// handler: arbitrary bodies — truncations, oversized or lying length
+// prefixes, zero-length frames, float garbage — must produce a well-formed
+// 200/400/413, never a panic, and never a sample the sanity gates would
+// reject (non-finite values die at the fleet, misframed records die at the
+// decoder).
+func FuzzBinaryIngestFrame(f *testing.F) {
+	valid := wire.AppendIngestRecord(nil, 1, []float64{1, 2, 3})
+	valid = wire.AppendIngestRecord(valid, 2, []float64{4, 5, 6})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})
+	f.Add([]byte{1, 0, 0})
+	f.Add(wire.AppendIngestRecord(nil, -9, nil))
+	f.Add(append(wire.AppendIngestRecord(nil, 3, []float64{math.Inf(1), math.NaN(), -0.0}), 0xde, 0xad))
+
+	scaler, model := fixture(f)
+	m, err := fleet.New(fleet.Config{Window: testWindow, Sensors: testSensors, Scaler: scaler, Model: model})
+	if err != nil {
+		f.Fatal(err)
+	}
+	s, err := New(Config{Monitor: m, TickEvery: time.Hour, MaxBodyBytes: 1 << 20})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { s.Close() })
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest("POST", "/v1/ingest", bytes.NewReader(body))
+		req.Header.Set("Content-Type", wire.IngestContentType)
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+		switch rec.Code {
+		case 200, 400, 413:
+		default:
+			t.Fatalf("unexpected status %d", rec.Code)
 		}
 	})
 }

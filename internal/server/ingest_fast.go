@@ -1,0 +1,259 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"unsafe"
+
+	"repro/internal/wire"
+)
+
+// The per-sample ingest path is allocation-free in steady state: each
+// request borrows one ingestScratch from a pool — a body buffer, a values
+// arena every sample's slice aliases, and the sample list itself — and a
+// canonical NDJSON line is decoded by a byte scanner instead of
+// encoding/json. The scanner is deliberately narrow: it accepts exactly
+// the shape producers emit ({"job":N,"values":[...]}, no whitespace, no
+// reordering) and hands anything else to the stdlib decoder, so
+// acceptance and per-line error text stay byte-identical to the
+// encoding/json path it replaces.
+
+// ingestScratch is one request's pooled parsing state. It is returned to
+// the pool only after the worker has finished the batch (Push copies every
+// sample into the job's ring), so aliasing the arena is safe.
+type ingestScratch struct {
+	body    []byte
+	values  []float64
+	samples []sampleReq
+}
+
+var ingestScratchPool = sync.Pool{
+	New: func() any { return &ingestScratch{body: make([]byte, 0, 64*1024)} },
+}
+
+// readBody reads r to EOF into dst's spare capacity, growing as needed,
+// and returns the filled slice.
+func readBody(dst []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}
+
+// isBinaryIngest reports whether an ingest Content-Type selects the binary
+// framing; anything else (including absent) reads as NDJSON.
+func isBinaryIngest(ct string) bool {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.TrimSpace(ct) == wire.IngestContentType
+}
+
+// parseBinary decodes a binary-framed body from sc.body into sc.samples.
+// Record-local defects land in the per-line error list under the record's
+// index; a framing-fatal defect is returned and rejects the whole batch
+// before anything is enqueued, mirroring the NDJSON scanner-error path.
+func parseBinary(sc *ingestScratch) ([]sampleReq, []lineError, error) {
+	dec := wire.NewIngestDecoder(sc.body)
+	dec.Arena = sc.values[:0]
+	samples := sc.samples[:0]
+	var errs []lineError
+	for {
+		rec, ok := dec.Next()
+		if !ok {
+			break
+		}
+		if rec.Err != nil {
+			errs = append(errs, lineError{Line: rec.Index, Error: rec.Err.Error()})
+			continue
+		}
+		if rec.Job < 0 {
+			errs = append(errs, lineError{Line: rec.Index, Error: `missing or negative "job"`})
+			continue
+		}
+		if len(rec.Values) == 0 {
+			errs = append(errs, lineError{Line: rec.Index, Error: `missing or empty "values"`})
+			continue
+		}
+		samples = append(samples, sampleReq{line: rec.Index, job: int(rec.Job), values: rec.Values})
+	}
+	sc.values, sc.samples = dec.Arena, samples
+	return samples, errs, dec.Err()
+}
+
+// parseLines splits sc.body into NDJSON lines exactly as bufio.ScanLines
+// would — a final fragment without a newline is still a line, a trailing
+// empty fragment is not — and parses each through the fast scanner with a
+// stdlib fallback. A line over maxLineBytes returns bufio.ErrTooLong as
+// the fatal error, matching the scanner-based path this replaces.
+func parseLines(sc *ingestScratch) ([]sampleReq, []lineError, error) {
+	samples := sc.samples[:0]
+	arena := sc.values[:0]
+	var errs []lineError
+	buf := sc.body
+	line := 0
+	for off := 0; off < len(buf); {
+		var seg []byte
+		if nl := bytes.IndexByte(buf[off:], '\n'); nl < 0 {
+			seg = buf[off:]
+			off = len(buf)
+		} else {
+			seg = buf[off : off+nl]
+			off += nl + 1
+		}
+		line++
+		if len(seg) > maxLineBytes {
+			sc.values, sc.samples = arena, samples
+			return nil, nil, bufio.ErrTooLong
+		}
+		raw := bytes.TrimSpace(seg)
+		if len(raw) == 0 {
+			continue
+		}
+		if sm, grown, ok := parseIngestLineFast(line, raw, arena); ok {
+			arena = grown
+			samples = append(samples, sm)
+			continue
+		}
+		sm, errp, ok := parseIngestLine(line, raw)
+		if errp != nil {
+			errs = append(errs, *errp)
+		}
+		if ok {
+			samples = append(samples, sm)
+		}
+	}
+	sc.values, sc.samples = arena, samples
+	return samples, errs, nil
+}
+
+var (
+	ingestLinePrefix = []byte(`{"job":`)
+	ingestValuesSep  = []byte(`,"values":[`)
+)
+
+// parseIngestLineFast decodes the canonical ingest line shape without
+// encoding/json or per-line allocations, appending values to arena (the
+// sample's slice aliases it) and returning the grown arena. ok=false means
+// the line deviated from the canonical byte shape — whitespace, reordered
+// or extra fields, a number JSON or the int job field would reject — and
+// the caller must fall back to parseIngestLine, which stays authoritative
+// for both acceptance and error text.
+func parseIngestLineFast(line int, raw []byte, arena []float64) (sampleReq, []float64, bool) {
+	if !bytes.HasPrefix(raw, ingestLinePrefix) {
+		return sampleReq{}, arena, false
+	}
+	p := len(ingestLinePrefix)
+	job, d0 := 0, p
+	for p < len(raw) && raw[p] >= '0' && raw[p] <= '9' {
+		job = job*10 + int(raw[p]-'0')
+		p++
+	}
+	// No digits, a JSON-invalid leading zero, or enough digits to threaten
+	// int64 all defer to the stdlib's verdict.
+	if p == d0 || p-d0 > 18 || (raw[d0] == '0' && p-d0 > 1) {
+		return sampleReq{}, arena, false
+	}
+	if !bytes.HasPrefix(raw[p:], ingestValuesSep) {
+		return sampleReq{}, arena, false
+	}
+	p += len(ingestValuesSep)
+	start := len(arena)
+	for {
+		n := jsonNumberLen(raw[p:])
+		if n == 0 {
+			return sampleReq{}, arena[:start], false
+		}
+		// For a JSON-grammar-valid number this is exactly the conversion
+		// encoding/json performs; a range error (1e999) falls back so the
+		// stdlib's rejection is what the client sees.
+		v, err := strconv.ParseFloat(bytesString(raw[p:p+n]), 64)
+		if err != nil {
+			return sampleReq{}, arena[:start], false
+		}
+		arena = append(arena, v)
+		p += n
+		if p >= len(raw) {
+			return sampleReq{}, arena[:start], false
+		}
+		if raw[p] == ',' {
+			p++
+			continue
+		}
+		if raw[p] == ']' {
+			p++
+			break
+		}
+		return sampleReq{}, arena[:start], false
+	}
+	if p != len(raw)-1 || raw[p] != '}' {
+		return sampleReq{}, arena[:start], false
+	}
+	return sampleReq{line: line, job: job, values: arena[start:]}, arena, true
+}
+
+// jsonNumberLen returns how many leading bytes of b form a complete JSON
+// number (RFC 8259 grammar: no leading zeros, no bare '.', no Inf/NaN
+// spellings), or 0 if they don't.
+func jsonNumberLen(b []byte) int {
+	i := 0
+	if i < len(b) && b[i] == '-' {
+		i++
+	}
+	if i >= len(b) {
+		return 0
+	}
+	switch {
+	case b[i] == '0':
+		i++
+	case b[i] >= '1' && b[i] <= '9':
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	default:
+		return 0
+	}
+	if i < len(b) && b[i] == '.' {
+		i++
+		d := i
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+		if i == d {
+			return 0
+		}
+	}
+	if i < len(b) && (b[i] == 'e' || b[i] == 'E') {
+		i++
+		if i < len(b) && (b[i] == '+' || b[i] == '-') {
+			i++
+		}
+		d := i
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+		if i == d {
+			return 0
+		}
+	}
+	return i
+}
+
+// bytesString views b as a string without copying; the result must not
+// outlive b, which holds here — it only feeds strconv.ParseFloat.
+func bytesString(b []byte) string {
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}

@@ -10,9 +10,14 @@
 // docs/API.md is the complete request/response reference for this API.
 // The surface is deliberately small:
 //
-//	POST   /v1/ingest               NDJSON batch ingest, one sample per line:
+//	POST   /v1/ingest               batch ingest in either framing,
+//	                                negotiated by Content-Type: NDJSON
+//	                                (default), one sample per line:
 //	                                {"job":17,"values":[v0,...,v6]}
-//	                                Per-line error accounting; a malformed
+//	                                or length-prefixed binary records
+//	                                (Content-Type: application/x-wcc-ingest,
+//	                                layout in internal/wire). Per-line /
+//	                                per-record error accounting; a malformed
 //	                                line never poisons the batch's valid
 //	                                samples. 429 + Retry-After when the
 //	                                bounded ingest queue is full.
@@ -41,8 +46,6 @@
 package server
 
 import (
-	"bufio"
-	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -471,25 +474,19 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	default:
 	}
 
+	// The whole body is read into pooled scratch, then parsed by framing:
+	// binary length-prefixed records when the Content-Type says so, NDJSON
+	// otherwise. The scratch (body buffer, values arena, sample list) is
+	// returned to the pool when the handler exits — by then the workers
+	// have copied every sample out (Push copies into the job's ring), so
+	// the aliasing is safe even though the batch rode the queue.
+	sc := ingestScratchPool.Get().(*ingestScratch)
+	defer ingestScratchPool.Put(sc)
+
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	sc := bufio.NewScanner(body)
-	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
-	var samples []sampleReq
-	var parseErrs []lineError
-	line := 0
-	for sc.Scan() {
-		line++
-		sm, errp, ok := parseIngestLine(line, bytes.TrimSpace(sc.Bytes()))
-		if errp != nil {
-			parseErrs = append(parseErrs, *errp)
-		}
-		if ok {
-			samples = append(samples, sm)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		// Nothing was enqueued yet, so a request-level failure rejects the
-		// whole batch rather than ingesting an unknown prefix.
+	var err error
+	sc.body, err = readBody(sc.body[:0], body)
+	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeError(w, http.StatusRequestEntityTooLarge,
@@ -497,6 +494,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		} else {
 			writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
 		}
+		return
+	}
+
+	var samples []sampleReq
+	var parseErrs []lineError
+	var fatal error
+	if isBinaryIngest(r.Header.Get("Content-Type")) {
+		samples, parseErrs, fatal = parseBinary(sc)
+	} else {
+		samples, parseErrs, fatal = parseLines(sc)
+	}
+	if fatal != nil {
+		// Nothing was enqueued yet, so a request-level failure rejects the
+		// whole batch rather than ingesting an unknown prefix.
+		writeError(w, http.StatusBadRequest, "reading body: "+fatal.Error())
 		return
 	}
 

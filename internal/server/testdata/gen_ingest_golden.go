@@ -1,0 +1,49 @@
+//go:build ignore
+
+// Regenerates ingest_golden.bin, the committed binary-framed ingest
+// capture pinned byte-for-byte by TestGoldenBinaryIngestCapture:
+//
+//	go run internal/server/testdata/gen_ingest_golden.go
+//
+// The capture deliberately mixes clean samples with every record-local
+// defect class: if the framing bytes or the decoder's semantics drift,
+// the golden test fails before any client does.
+package main
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+
+	"repro/internal/wire"
+)
+
+func main() {
+	var b []byte
+	// 1, 2: ordinary accepted samples (width 3 matches the test fleet).
+	b = wire.AppendIngestRecord(b, 7, []float64{1.5, -2.25, 3.125})
+	b = wire.AppendIngestRecord(b, 0, []float64{0.1, 0.2, 0.3})
+	// 3: zero-length frame (record-local reject).
+	b = binary.LittleEndian.AppendUint32(b, 0)
+	// 4: NaN with a payload, +Inf, -Inf — bits must survive verbatim.
+	b = wire.AppendIngestRecord(b, 42, []float64{
+		math.Float64frombits(0x7ff8000000000001), math.Inf(1), math.Inf(-1),
+	})
+	// 5: payload shorter than the 10-byte header.
+	b = binary.LittleEndian.AppendUint32(b, 5)
+	b = append(b, 0xde, 0xad, 0xbe, 0xef, 0x01)
+	// 6: length/count mismatch: 18-byte payload declaring 5 values.
+	b = binary.LittleEndian.AppendUint32(b, 18)
+	b = binary.LittleEndian.AppendUint64(b, 11)
+	b = binary.LittleEndian.AppendUint16(b, 5)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(4.5))
+	// 7: negative job (decoded fine, rejected by the server).
+	b = wire.AppendIngestRecord(b, -3, []float64{1})
+	// 8: zero values (decoded fine, rejected by the server).
+	b = wire.AppendIngestRecord(b, 9, nil)
+	// 9: extreme magnitudes — denormal, negative zero, 1e308.
+	b = wire.AppendIngestRecord(b, 1000000, []float64{5e-324, math.Copysign(0, -1), 1e308})
+	if err := os.WriteFile("internal/server/testdata/ingest_golden.bin", b, 0o644); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,37 @@
+package tree
+
+// ExportNode is one fitted node in codec-independent export form, used by
+// internal/forest to compile trees into its flat contiguous inference
+// layout. Probs aliases the tree's own leaf distribution — treat it as
+// read-only.
+type ExportNode struct {
+	Feature   int
+	Threshold float64
+	Left      int
+	Right     int
+	Leaf      bool
+	Probs     []float64
+}
+
+// ExportNodes returns the fitted node array (root at index 0) in export
+// form. Children always point to higher indices — grow() lays subtrees out
+// after their parent and Decode enforces the same invariant — so consumers
+// may relayout without cycle checks. Returns nil on an unfitted tree.
+func (t *Classifier) ExportNodes() []ExportNode {
+	if len(t.nodes) == 0 {
+		return nil
+	}
+	out := make([]ExportNode, len(t.nodes))
+	for i := range t.nodes {
+		nd := &t.nodes[i]
+		out[i] = ExportNode{
+			Feature:   nd.feature,
+			Threshold: nd.threshold,
+			Left:      nd.left,
+			Right:     nd.right,
+			Leaf:      nd.leaf,
+			Probs:     nd.probs,
+		}
+	}
+	return out
+}

@@ -115,6 +115,7 @@ func Decode(r io.Reader) (*Classifier, error) {
 	if err := rr.Err(); err != nil {
 		return nil, err
 	}
+	c.flat = compileFlat(c.trees, c.cfg.LearningRate, c.numClasses)
 	return c, nil
 }
 

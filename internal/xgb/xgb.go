@@ -88,6 +88,11 @@ type Classifier struct {
 	gainImp   []float64
 	weightImp []float64
 
+	// flat is the compiled contiguous inference form, built once at Fit or
+	// Decode time and immutable afterwards; PredictProbaBatch walks it
+	// instead of the pointer trees. See flat.go.
+	flat *flatEnsemble
+
 	// TrainLoss records mean softmax cross-entropy per round, used to
 	// reproduce the paper's plateau/overfitting analysis.
 	TrainLoss []float64
@@ -197,6 +202,7 @@ func (c *Classifier) Fit(x *mat.Matrix, y []int, numClasses int, evalX *mat.Matr
 			c.EvalAccuracy = append(c.EvalAccuracy, float64(correct)/float64(evalX.Rows))
 		}
 	}
+	c.flat = compileFlat(c.trees, c.cfg.LearningRate, numClasses)
 	return nil
 }
 
@@ -405,15 +411,20 @@ func (c *Classifier) probaBlock(x, out *mat.Matrix, lo, hi int) {
 // PredictProbaBatch is the serving hot path for fleet-scale batched
 // inference: one call scores the whole matrix, splitting rows into
 // contiguous blocks over a bounded worker pool (cfg.Workers, 0 = GOMAXPROCS,
-// mirroring forest.Config.Workers) and sweeping each block tree by tree.
-// Results are bit-identical to PredictProba.
+// mirroring forest.Config.Workers) and sweeping each block tree by tree
+// over the flat node arrays compiled at Fit/Decode time (see flat.go) — no
+// per-node pointer dereferences. Results are bit-identical to PredictProba.
 func (c *Classifier) PredictProbaBatch(x *mat.Matrix) (*mat.Matrix, error) {
 	if err := c.checkPredictable(x); err != nil {
 		return nil, err
 	}
 	out := mat.New(x.Rows, c.numClasses)
 	_ = mat.ParallelRowBlocks(x.Rows, c.cfg.Workers, func(lo, hi int) error {
-		c.probaBlock(x, out, lo, hi)
+		if c.flat != nil {
+			c.flat.scoreBlock(x, out, lo, hi)
+		} else {
+			c.probaBlock(x, out, lo, hi)
+		}
 		return nil
 	})
 	return out, nil
