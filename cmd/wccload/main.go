@@ -13,7 +13,10 @@
 //
 // It reports client-observed ingest throughput and request latency
 // percentiles, then reads the fleet snapshot back and scores the server's
-// final classifications against the simulation's ground truth.
+// final classifications against the simulation's ground truth. With
+// -events it additionally holds a GET /v1/events SSE subscription open for
+// the duration of the run and reports how many events of each type the
+// push plane delivered.
 //
 // Usage:
 //
@@ -27,6 +30,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -38,6 +42,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -57,12 +62,13 @@ func main() {
 	framing := flag.String("framing", "ndjson", "ingest framing: ndjson or binary (length-prefixed records, Content-Type application/x-wcc-ingest)")
 	conns := flag.Int("conns", runtime.GOMAXPROCS(0), "concurrent client connections; each fleet job is pinned to one connection")
 	unknownFrac := flag.Float64("unknown-frac", 0, "fraction of fleet jobs driven from out-of-distribution workload profiles; their rejection recall/precision is scored against the server's unknown verdicts")
+	events := flag.Bool("events", false, "subscribe to GET /v1/events for the duration of the run and report delivered event counts by type")
 	flag.Parse()
 
 	if err := run(config{
 		addr: *addr, jobs: *jobs, scale: *scale, seed: *seed,
 		start: *start, seconds: *seconds, batch: *batch, conns: *conns,
-		unknownFrac: *unknownFrac, framing: *framing,
+		unknownFrac: *unknownFrac, framing: *framing, events: *events,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "wccload:", err)
 		os.Exit(1)
@@ -79,6 +85,7 @@ type config struct {
 	conns          int
 	unknownFrac    float64
 	framing        string
+	events         bool
 }
 
 // health mirrors the server's /healthz payload.
@@ -249,6 +256,17 @@ func run(c config) error {
 	fmt.Printf("driving %d fleet jobs (%d out-of-distribution) over %d telemetry series into %s: %d samples in %d requests (%d-sample %s batches) across %d connections\n",
 		c.jobs, mix.UnknownJobs, replay.NumJobs(), serving, totalSamples, requests, c.batch, framingName, c.conns)
 
+	// Optional event-plane audit: hold one SSE subscription open across the
+	// run so the report can say what the push plane delivered, not just what
+	// the poll endpoints show after the fact.
+	var ev *eventWatch
+	if c.events {
+		ev, err = watchEvents(client, c.addr)
+		if err != nil {
+			return fmt.Errorf("subscribing to /v1/events: %w", err)
+		}
+	}
+
 	stats := make([]connStats, c.conns)
 	var wg sync.WaitGroup
 	t0 := time.Now()
@@ -326,7 +344,86 @@ func run(c config) error {
 	case mix.UnknownJobs > 0:
 		fmt.Printf("  note: %d out-of-distribution jobs injected but the server reports no drift calibration\n", mix.UnknownJobs)
 	}
+	if ev != nil {
+		counts, evicted := ev.stop()
+		total := 0
+		var parts []string
+		for _, tc := range counts {
+			total += tc.n
+			parts = append(parts, fmt.Sprintf("%d %s", tc.n, tc.typ))
+		}
+		line := "none"
+		if len(parts) > 0 {
+			line = strings.Join(parts, ", ")
+		}
+		fmt.Printf("  events delivered:  %d over SSE (%s)\n", total, line)
+		if evicted {
+			fmt.Printf("  note: the event subscription was evicted for falling behind (queue overflow)\n")
+		}
+	}
 	return nil
+}
+
+// eventWatch counts SSE frames from one GET /v1/events subscription.
+type eventWatch struct {
+	body    io.ReadCloser
+	mu      sync.Mutex
+	counts  map[string]int
+	evicted bool
+	done    chan struct{}
+}
+
+// watchEvents opens the subscription and starts counting; the first frame
+// of each type arrives as an "event: <type>" line in the SSE framing.
+func watchEvents(client *http.Client, addr string) (*eventWatch, error) {
+	resp, err := client.Get(addr + "/v1/events")
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("events status %d", resp.StatusCode)
+	}
+	w := &eventWatch{body: resp.Body, counts: make(map[string]int), done: make(chan struct{})}
+	go func() {
+		defer close(w.done)
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			typ, ok := strings.CutPrefix(sc.Text(), "event: ")
+			if !ok {
+				continue
+			}
+			w.mu.Lock()
+			if typ == "eviction" {
+				w.evicted = true
+			} else {
+				w.counts[typ]++
+			}
+			w.mu.Unlock()
+		}
+	}()
+	return w, nil
+}
+
+type typeCount struct {
+	typ string
+	n   int
+}
+
+// stop lets in-flight write-back events settle, closes the subscription,
+// and returns per-type delivery counts in a stable order.
+func (w *eventWatch) stop() ([]typeCount, bool) {
+	time.Sleep(500 * time.Millisecond)
+	w.body.Close()
+	<-w.done
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]typeCount, 0, len(w.counts))
+	for typ, n := range w.counts {
+		out = append(out, typeCount{typ, n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].typ < out[j].typ })
+	return out, w.evicted
 }
 
 func fetchDrift(client *http.Client, addr string) (*driftState, error) {

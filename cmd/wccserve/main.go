@@ -44,6 +44,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -73,6 +74,7 @@ func main() {
 	model := flag.String("model", "", "serve this .wcc artifact instead of training at startup")
 	modelPoll := flag.Duration("model-poll", 2*time.Second, "with -model: poll interval for hot-swapping a changed artifact (0 disables)")
 	listen := flag.String("listen", "", "serve the HTTP API on this address instead of running the replay demo")
+	debugAddr := flag.String("debug-addr", "", "with -listen: mount net/http/pprof on this separate address (off by default; keep it loopback-only)")
 	evictAfter := flag.Duration("evict-after", 0, "with -listen: evict jobs idle longer than this (0 disables)")
 	unknownFrac := flag.Float64("unknown-frac", 0, "replay demo: fraction of fleet jobs driven from out-of-distribution workload profiles (scored on rejection when the model carries a drift calibration)")
 	flag.Parse()
@@ -81,7 +83,7 @@ func main() {
 		jobs: *jobs, scale: *scale, seed: *seed, trees: *trees,
 		start: *start, seconds: *seconds, shards: *shards, workers: *workers,
 		tick: *tick, model: *model, modelPoll: *modelPoll,
-		listen: *listen, evictAfter: *evictAfter, unknownFrac: *unknownFrac,
+		listen: *listen, debugAddr: *debugAddr, evictAfter: *evictAfter, unknownFrac: *unknownFrac,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "wccserve:", err)
 		os.Exit(1)
@@ -100,6 +102,7 @@ type config struct {
 	model          string
 	modelPoll      time.Duration
 	listen         string
+	debugAddr      string
 	evictAfter     time.Duration
 	unknownFrac    float64
 }
@@ -219,6 +222,29 @@ func serveHTTP(c config) error {
 		close(watchDone)
 	}
 
+	// Optional pprof sidecar: its own mux on its own listener, so profiling
+	// never shares an address (or an exposure surface) with the public API.
+	var debugSrv *http.Server
+	if c.debugAddr != "" {
+		dln, err := net.Listen("tcp", c.debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Handler: mux}
+		fmt.Printf("pprof debug listener on http://%s/debug/pprof/\n", dln.Addr())
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "wccserve: debug listener: %v\n", err)
+			}
+		}()
+	}
+
 	ln, err := net.Listen("tcp", c.listen)
 	if err != nil {
 		return err
@@ -226,6 +252,9 @@ func serveHTTP(c config) error {
 	fmt.Printf("serving HTTP API on http://%s (%dx%d windows, %d shards, tick %s)\n",
 		ln.Addr(), window, sensors, monitor.NumShards(), c.tick)
 	httpSrv := &http.Server{Handler: srv.Handler()}
+	// SSE streams hold their connections open indefinitely; ending them at
+	// shutdown lets the graceful drain below complete instead of timing out.
+	httpSrv.RegisterOnShutdown(srv.CloseStreams)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
@@ -242,6 +271,11 @@ func serveHTTP(c config) error {
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "wccserve: http shutdown: %v\n", err)
+	}
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "wccserve: debug shutdown: %v\n", err)
+		}
 	}
 	close(stopWatch)
 	<-watchDone

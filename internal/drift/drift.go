@@ -439,6 +439,34 @@ func FleetScore(psi []float64) float64 {
 	return best
 }
 
+// PSI bands: the conventional reading of a Population Stability Index,
+// used wherever the serving plane turns a continuous drift score into an
+// operator-facing state (the /v1/events drift-crossing events, the
+// dashboard's drift panel).
+const (
+	// BandStable is a PSI below 0.1: the live input matches training.
+	BandStable = "stable"
+	// BandModerate is a PSI in [0.1, 0.25): distribution shift worth
+	// watching.
+	BandModerate = "moderate"
+	// BandMajor is a PSI of 0.25 or more: the input has left the training
+	// distribution.
+	BandMajor = "major"
+)
+
+// Band maps a drift score (a PSI, typically FleetScore's max) to its
+// conventional band name.
+func Band(score float64) string {
+	switch {
+	case score < 0.1:
+		return BandStable
+	case score < 0.25:
+		return BandModerate
+	default:
+		return BandMajor
+	}
+}
+
 // RejectionTally scores open-set verdicts against known ground truth —
 // the bookkeeping wccserve and wccload share when they inject
 // out-of-distribution workloads and read the fleet's unknown flags back.

@@ -283,3 +283,19 @@ func TestFitRejectsNonFinite(t *testing.T) {
 		t.Fatal("NaN training value accepted")
 	}
 }
+
+func TestBand(t *testing.T) {
+	cases := []struct {
+		score float64
+		want  string
+	}{
+		{0, BandStable}, {0.099, BandStable},
+		{0.1, BandModerate}, {0.249, BandModerate},
+		{0.25, BandMajor}, {3, BandMajor},
+	}
+	for _, c := range cases {
+		if got := Band(c.score); got != c.want {
+			t.Fatalf("Band(%v) = %q, want %q", c.score, got, c.want)
+		}
+	}
+}

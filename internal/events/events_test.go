@@ -1,0 +1,206 @@
+package events
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPublishStampsSeqAndTime(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(SubOptions{})
+	defer sub.Close()
+	b.Publish(Event{Type: TypePrediction, Job: Intp(1), Class: Intp(3)})
+	b.Publish(Event{Type: TypePrediction, Job: Intp(2), Class: Intp(4)})
+	e1 := <-sub.Events()
+	e2 := <-sub.Events()
+	if e1.Seq != 1 || e2.Seq != 2 {
+		t.Fatalf("sequence numbers %d, %d; want 1, 2", e1.Seq, e2.Seq)
+	}
+	if e1.TimeUnixMS == 0 {
+		t.Fatal("publish did not stamp TimeUnixMS")
+	}
+	if got := b.Stats().Published; got != 2 {
+		t.Fatalf("Published = %d, want 2", got)
+	}
+}
+
+func TestSwapAdvancesGeneration(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(SubOptions{})
+	defer sub.Close()
+	b.Publish(Event{Type: TypePrediction, Job: Intp(1), Class: Intp(0)})
+	b.Publish(Event{Type: TypeSwap, Model: "*forest.Forest"})
+	b.Publish(Event{Type: TypeUnknown, Job: Intp(1), Class: Intp(0)})
+	pre := <-sub.Events()
+	swap := <-sub.Events()
+	post := <-sub.Events()
+	if pre.Gen != 0 {
+		t.Fatalf("pre-swap event at generation %d, want 0", pre.Gen)
+	}
+	if swap.Gen != 1 || post.Gen != 1 {
+		t.Fatalf("swap/post generations %d/%d, want 1/1", swap.Gen, post.Gen)
+	}
+	if b.Gen() != 1 {
+		t.Fatalf("bus generation %d, want 1", b.Gen())
+	}
+}
+
+func TestTypeAndJobFilters(t *testing.T) {
+	b := NewBus()
+	unknownOnly := b.Subscribe(SubOptions{Types: []Type{TypeUnknown}})
+	defer unknownOnly.Close()
+	job7 := b.Subscribe(SubOptions{Job: Intp(7)})
+	defer job7.Close()
+
+	b.Publish(Event{Type: TypePrediction, Job: Intp(7), Class: Intp(1)})
+	b.Publish(Event{Type: TypePrediction, Job: Intp(8), Class: Intp(2)})
+	b.Publish(Event{Type: TypeUnknown, Job: Intp(8), Class: Intp(2)})
+	b.Publish(Event{Type: TypeSwap})
+
+	if e := <-unknownOnly.Events(); e.Type != TypeUnknown || *e.Job != 8 {
+		t.Fatalf("type-filtered subscriber got %+v", e)
+	}
+	select {
+	case e := <-unknownOnly.Events():
+		t.Fatalf("type-filtered subscriber got extra event %+v", e)
+	default:
+	}
+
+	// Job filter: job 7's prediction and the job-less swap deliver; job 8's
+	// two events do not.
+	if e := <-job7.Events(); e.Type != TypePrediction || *e.Job != 7 {
+		t.Fatalf("job-filtered subscriber got %+v", e)
+	}
+	if e := <-job7.Events(); e.Type != TypeSwap {
+		t.Fatalf("job-filtered subscriber missed the fleet-scoped swap, got %+v", e)
+	}
+	select {
+	case e := <-job7.Events():
+		t.Fatalf("job-filtered subscriber got extra event %+v", e)
+	default:
+	}
+}
+
+// TestSlowSubscriberEvicted pins the slow-client policy: a subscriber that
+// stops draining is evicted the moment its bounded queue overflows — the
+// publisher never blocks, the channel closes, and the stats account for it.
+func TestSlowSubscriberEvicted(t *testing.T) {
+	b := NewBus()
+	stalled := b.Subscribe(SubOptions{Buffer: 4})
+	healthy := b.Subscribe(SubOptions{Buffer: 64})
+	defer healthy.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 16; i++ {
+			b.Publish(Event{Type: TypePrediction, Job: Intp(i), Class: Intp(0)})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publisher blocked on a stalled subscriber")
+	}
+
+	// The stalled subscription's channel must close after its 4 buffered
+	// events.
+	n := 0
+	for range stalled.Events() {
+		n++
+	}
+	if n != 4 {
+		t.Fatalf("stalled subscriber drained %d events before close, want 4", n)
+	}
+	if !stalled.Evicted() {
+		t.Fatal("stalled subscriber not marked evicted")
+	}
+	st := b.Stats()
+	if st.Evicted != 1 || st.Subscribers != 1 {
+		t.Fatalf("stats after eviction: %+v", st)
+	}
+	if st.Dropped == 0 {
+		t.Fatal("eviction recorded no dropped events")
+	}
+	// Eviction then Close must not double-close.
+	stalled.Close()
+
+	// The healthy subscriber saw everything.
+	got := 0
+	for len(healthy.Events()) > 0 {
+		<-healthy.Events()
+		got++
+	}
+	if got != 16 {
+		t.Fatalf("healthy subscriber saw %d events, want 16", got)
+	}
+}
+
+// TestConcurrentPublishSubscribeEvict hammers the bus from many publishers
+// while subscribers churn and some deliberately stall; run under -race this
+// pins the locking discipline, and the final goroutine count pins that
+// evicted subscribers leak nothing.
+func TestConcurrentPublishSubscribeEvict(t *testing.T) {
+	before := runtime.NumGoroutine()
+	b := NewBus()
+	var pubs, readers sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		pubs.Add(1)
+		go func(p int) {
+			defer pubs.Done()
+			for i := 0; i < 500; i++ {
+				b.Publish(Event{Type: TypePrediction, Job: Intp(i), Class: Intp(p)})
+				if i%100 == 0 {
+					b.Publish(Event{Type: TypeSwap})
+				}
+			}
+		}(p)
+	}
+	subs := make([]*Subscription, 8)
+	for s := 0; s < 8; s++ {
+		subs[s] = b.Subscribe(SubOptions{Buffer: 8})
+		if s%2 == 0 {
+			// Stall: never read; the bus must evict without help.
+			continue
+		}
+		readers.Add(1)
+		go func(sub *Subscription) {
+			defer readers.Done()
+			for range sub.Events() {
+			}
+		}(subs[s])
+	}
+	pubs.Wait()
+	// Unblock any reader whose subscription outlived the publishers; Close
+	// is a no-op on the evicted ones.
+	for _, sub := range subs {
+		sub.Close()
+	}
+	readers.Wait()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, g)
+	}
+}
+
+func TestNilBusIsValidSink(t *testing.T) {
+	var b *Bus
+	// Must not panic; emitters publish unconditionally through a nil bus.
+	b.Publish(Event{Type: TypePrediction})
+}
+
+func TestSubscriptionCloseIsIdempotent(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(SubOptions{})
+	sub.Close()
+	sub.Close()
+	if st := b.Stats(); st.Subscribers != 0 {
+		t.Fatalf("subscribers after close: %d", st.Subscribers)
+	}
+	b.Publish(Event{Type: TypeSwap}) // must not panic on the closed sub
+}

@@ -52,9 +52,11 @@ import (
 	"time"
 
 	"repro/internal/drift"
+	"repro/internal/events"
 	"repro/internal/mat"
 	"repro/internal/preprocess"
 	"repro/internal/stream"
+	"repro/internal/trace"
 )
 
 // BatchClassifier is the fast path a model can offer for fleet serving: one
@@ -91,6 +93,7 @@ type Config struct {
 
 // jobState is one job's slot in the registry, guarded by its shard's mutex.
 type jobState struct {
+	id       int    // the job's fleet ID, for event emission at write-back
 	home     *shard // owning shard, for lock re-acquisition at write-back
 	emb      *stream.WindowedEmbedder
 	dirty    bool // samples arrived since the job was last classified
@@ -122,8 +125,13 @@ type Monitor struct {
 	// written only while holding BOTH tickMu and driftMu, so Tick reads it
 	// under tickMu alone and the DriftStats read surface under driftMu
 	// alone — and a drift swap can never interleave with either.
-	driftMu  sync.RWMutex
-	dcal     *drift.Calibration
+	driftMu sync.RWMutex
+	dcal    *drift.Calibration
+	// evs and tracer are the optional observability plane, both guarded by
+	// tickMu (everything that reads them — ticks and swaps — already holds
+	// it). nil means disabled; neither influences a single prediction bit.
+	evs      events.Sink
+	tracer   *trace.Recorder
 	samples  atomic.Uint64
 	ticks    atomic.Uint64
 	classed  atomic.Uint64
@@ -232,7 +240,7 @@ func (m *Monitor) Ingest(jobID int, sample []float64) error {
 			sh.mu.Unlock()
 			return err
 		}
-		js = &jobState{home: sh, emb: emb}
+		js = &jobState{id: jobID, home: sh, emb: emb}
 		sh.jobs[jobID] = js
 	}
 	err := js.emb.Push(sample)
@@ -282,6 +290,7 @@ func (m *Monitor) Tick() (TickStats, error) {
 	var stats TickStats
 	var batch []collected
 	var feats []float64
+	collectStart := time.Now()
 	for _, sh := range m.shards {
 		sh.mu.Lock()
 		for _, js := range sh.jobs {
@@ -305,8 +314,13 @@ func (m *Monitor) Tick() (TickStats, error) {
 		m.ticks.Add(1)
 		return stats, nil
 	}
+	// Stage spans record only non-empty passes: at a 10ms cadence most
+	// ticks collect nothing, and those would drown the ring the sampled
+	// trace endpoint serves.
+	m.tracer.Observe(trace.StageCollect, collectStart, time.Since(collectStart), len(batch))
 
 	x := &mat.Matrix{Rows: len(batch), Cols: m.dim, Data: feats}
+	classifyStart := time.Now()
 	var probs *mat.Matrix
 	var err error
 	if m.batch != nil {
@@ -317,6 +331,7 @@ func (m *Monitor) Tick() (TickStats, error) {
 	if err != nil {
 		return stats, err
 	}
+	m.tracer.Observe(trace.StageClassify, classifyStart, time.Since(classifyStart), len(batch))
 	if probs.Rows != len(batch) {
 		return stats, fmt.Errorf("fleet: model returned %d rows for %d windows", probs.Rows, len(batch))
 	}
@@ -326,6 +341,7 @@ func (m *Monitor) Tick() (TickStats, error) {
 	// ordering doesn't matter — each job is visited once. The dirty flag is
 	// retired only here, after the model call succeeded; a job that received
 	// more samples while inference ran stays dirty for the next tick.
+	writeStart := time.Now()
 	for i, c := range batch {
 		row := probs.Row(i)
 		best := mat.ArgMax(row)
@@ -343,12 +359,39 @@ func (m *Monitor) Tick() (TickStats, error) {
 			}
 		}
 		c.js.home.mu.Lock()
+		old := c.js.pred
 		c.js.pred = pred
 		if c.js.samples == c.seen {
 			c.js.dirty = false
 		}
 		c.js.home.mu.Unlock()
+		// Push-plane emission, outside the job lock and after the prediction
+		// has published: a stalled subscriber can therefore never delay
+		// write-back, and enabling events changes no prediction bit. Only
+		// transitions emit — a class change (including the first
+		// classification) and a verdict flipping to unknown — so steady
+		// state costs nothing and the feed carries signal, not re-scores.
+		if m.evs != nil {
+			if old == nil || old.Class != pred.Class {
+				e := events.Event{
+					Type: events.TypePrediction, Job: events.Intp(c.js.id),
+					Class: events.Intp(pred.Class), Probability: pred.Probability,
+				}
+				if old != nil {
+					e.PrevClass = events.Intp(old.Class)
+				}
+				m.evs.Publish(e)
+			}
+			if pred.Unknown() && !old.Unknown() {
+				m.evs.Publish(events.Event{
+					Type: events.TypeUnknown, Job: events.Intp(c.js.id),
+					Class: events.Intp(pred.Class), Probability: pred.Probability,
+					FeatDist: pred.Open.FeatDist,
+				})
+			}
+		}
 	}
+	m.tracer.Observe(trace.StageWriteBack, writeStart, time.Since(writeStart), len(batch))
 	stats.Classified = len(batch)
 	m.ticks.Add(1)
 	m.classed.Add(uint64(len(batch)))
@@ -379,6 +422,7 @@ func (m *Monitor) SwapClassifier(model stream.Classifier) error {
 	defer m.tickMu.Unlock()
 	m.installModel(model)
 	m.swaps.Add(1)
+	m.publishSwap(model)
 	return nil
 }
 
@@ -416,7 +460,38 @@ func (m *Monitor) SwapClassifierDrift(model stream.Classifier, cal *drift.Calibr
 	}
 	m.driftMu.Unlock()
 	m.swaps.Add(1)
+	m.publishSwap(model)
 	return nil
+}
+
+// publishSwap emits the hot-swap event that advances the bus generation;
+// callers hold tickMu, so the event orders exactly with the installation —
+// every later tick's events carry the new generation.
+func (m *Monitor) publishSwap(model stream.Classifier) {
+	if m.evs != nil {
+		m.evs.Publish(events.Event{Type: events.TypeSwap, Model: fmt.Sprintf("%T", model)})
+	}
+}
+
+// SetEventSink attaches the push plane: prediction-change, unknown-verdict
+// and swap events publish to s from the next tick on (nil detaches).
+// Emission never blocks on a consumer — sinks are expected to be bounded
+// and evicting, like events.Bus — and never alters a prediction;
+// TestEventsEquivalenceBitIdentical pins that.
+func (m *Monitor) SetEventSink(s events.Sink) {
+	m.tickMu.Lock()
+	m.evs = s
+	m.tickMu.Unlock()
+}
+
+// SetTraceRecorder attaches the per-stage span recorder ticks feed
+// (collect, classify, write-back stages); nil detaches. The recorder is
+// safe to share across monitors — a sharded core threads one through
+// every shard.
+func (m *Monitor) SetTraceRecorder(r *trace.Recorder) {
+	m.tickMu.Lock()
+	m.tracer = r
+	m.tickMu.Unlock()
 }
 
 // installModel sets the serving model and its batched fast path; callers

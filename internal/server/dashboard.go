@@ -1,0 +1,28 @@
+package server
+
+import (
+	"embed"
+	"net/http"
+)
+
+// dashboardFS embeds the operator dashboard: one self-contained HTML file —
+// no build toolchain, no external assets — so the serving binary carries its
+// own UI. The page drives itself off the same public API it documents:
+// GET /v1/events for the live feed, plus short polls of /v1/jobs, /v1/drift,
+// /v1/trace and /healthz.
+//
+//go:embed static/index.html
+var dashboardFS embed.FS
+
+// handleDashboard serves GET / (exact-path only; the {$} route pattern keeps
+// every other unmatched path a 404 rather than a dashboard copy).
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	page, err := dashboardFS.ReadFile("static/index.html")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "dashboard not embedded")
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Write(page)
+}

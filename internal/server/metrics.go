@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/shard"
+	"repro/internal/trace"
 )
 
 // handleMetrics renders Prometheus-style text metrics: monotonic counters
@@ -35,13 +36,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.lastScrape, s.lastSamples, s.lastClassed = now, samples, classed
 	s.scrapeMu.Unlock()
 
+	// The tick ring is shared with every tick loop's hot path, so the
+	// scrape must hold tickMu only to copy: the allocation happens before
+	// taking the lock and the O(n log n) sort after releasing it — a slow
+	// scraper never stretches the critical section a tick write sits behind.
+	durs := make([]time.Duration, 0, tickWindow)
 	s.tickMu.Lock()
 	n := s.tickN
 	if n > tickWindow {
 		n = tickWindow
 	}
-	durs := make([]time.Duration, n)
-	copy(durs, s.tickDur[:n])
+	durs = append(durs, s.tickDur[:n]...)
 	tickErrs := s.tickErrs
 	s.tickMu.Unlock()
 	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
@@ -78,14 +83,44 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("wcc_classifications_per_second", "Classification rate over the interval since the previous scrape.", classRate)
 	gauge("wcc_uptime_seconds", "Seconds since the serving layer started.", time.Since(s.start).Seconds())
 
+	es := s.bus.Stats()
+	counter("wcc_events_published_total", "Events published on the push-plane bus.", es.Published)
+	counter("wcc_events_dropped_total", "Events a subscriber missed because its queue was full.", es.Dropped)
+	counter("wcc_event_subscribers_evicted_total", "Event subscribers evicted for falling behind.", es.Evicted)
+	gauge("wcc_event_subscribers", "Live /v1/events subscribers.", float64(es.Subscribers))
+
 	fmt.Fprintf(w, "# HELP wcc_tick_latency_seconds Batched inference tick latency over the last %d ticks.\n", tickWindow)
 	fmt.Fprintf(w, "# TYPE wcc_tick_latency_seconds summary\n")
 	for _, q := range []float64{0.5, 0.95, 0.99} {
 		fmt.Fprintf(w, "wcc_tick_latency_seconds{quantile=%q} %g\n", fmt.Sprintf("%g", q), quantile(durs, q).Seconds())
 	}
 
+	s.writeStageMetrics(w)
+
 	if s.sharded != nil {
 		s.writeShardMetrics(w)
+	}
+}
+
+// writeStageMetrics renders the per-stage serving-latency histograms as
+// proper Prometheus histogram series — cumulative _bucket rows per le
+// bound, _sum and _count — one set per pipeline stage that has recorded at
+// least one span.
+func (s *Server) writeStageMetrics(w http.ResponseWriter) {
+	snap := s.tracer.Snapshot()
+	fmt.Fprintf(w, "# HELP wcc_stage_latency_seconds Per-stage serving pipeline latency (parse, queue, ingest, collect, classify, writeback).\n")
+	fmt.Fprintf(w, "# TYPE wcc_stage_latency_seconds histogram\n")
+	for _, st := range snap.Stages {
+		if st.Count == 0 {
+			continue
+		}
+		name := st.Stage.String()
+		for i, ub := range trace.Buckets {
+			fmt.Fprintf(w, "wcc_stage_latency_seconds_bucket{stage=%q,le=\"%g\"} %d\n", name, ub, st.Cumulative[i])
+		}
+		fmt.Fprintf(w, "wcc_stage_latency_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", name, st.Count)
+		fmt.Fprintf(w, "wcc_stage_latency_seconds_sum{stage=%q} %g\n", name, st.Sum)
+		fmt.Fprintf(w, "wcc_stage_latency_seconds_count{stage=%q} %d\n", name, st.Count)
 	}
 }
 

@@ -31,8 +31,15 @@
 //	GET    /v1/drift                open-set and input-drift state: unknown
 //	                                counts and per-sensor PSI against the
 //	                                training reference
+//	GET    /v1/events               push plane: Server-Sent Events stream of
+//	                                prediction-change, unknown-verdict,
+//	                                drift-band, model-swap and shard-health
+//	                                events; ?type= and ?job= filters
+//	GET    /v1/trace                per-stage serving latency: histogram
+//	                                summaries plus sampled recent spans
 //	GET    /healthz                 liveness plus window shape
 //	GET    /metrics                 Prometheus-style text metrics
+//	GET    /                        embedded live operator dashboard
 //
 // Ingest is decoupled from request handling by a bounded queue drained by a
 // fixed worker pool: a handler parses its batch, enqueues it without
@@ -58,9 +65,11 @@ import (
 	"time"
 
 	"repro/internal/drift"
+	"repro/internal/events"
 	"repro/internal/fleet"
 	"repro/internal/shard"
 	"repro/internal/stream"
+	"repro/internal/trace"
 )
 
 // Monitor is the fleet contract the serving layer drives: concurrent
@@ -86,6 +95,8 @@ type Monitor interface {
 	Swaps() uint64
 	Evictions() uint64
 	DriftStats() fleet.DriftStats
+	SetEventSink(s events.Sink)
+	SetTraceRecorder(r *trace.Recorder)
 }
 
 // Sharded is the optional extension a sharded fleet offers. When the
@@ -136,6 +147,23 @@ type Config struct {
 	// Logf, when non-nil, receives operational log lines (tick errors,
 	// eviction sweeps).
 	Logf func(format string, args ...any)
+	// Events is the push-plane bus GET /v1/events serves; nil means the
+	// server creates its own. Either way the bus is wired into the monitor
+	// so prediction, unknown and swap events flow, and the server adds
+	// drift-band and shard-health events on top.
+	Events *events.Bus
+	// EventBuffer bounds each SSE subscriber's queue (default 256). A
+	// subscriber whose queue overflows is evicted — its stream ends — so a
+	// stalled reader can never backpressure tick write-back.
+	EventBuffer int
+	// EventHeartbeat is the SSE keep-alive comment cadence (default 15s),
+	// keeping idle streams alive through proxies and letting dead client
+	// connections surface as write errors.
+	EventHeartbeat time.Duration
+	// DriftPollEvery is the drift-band watcher cadence (default 1s): how
+	// often the fleet PSI score is checked against the stable/moderate/major
+	// band boundaries to emit drift events on crossings.
+	DriftPollEvery time.Duration
 
 	// testHook, when non-nil, runs at the top of every worker batch —
 	// tests use it to hold workers and fill the queue deterministically.
@@ -164,6 +192,19 @@ type Server struct {
 	stop    chan struct{}
 	start   time.Time
 
+	// bus and tracer are the observability plane: the monitor publishes
+	// prediction/unknown/swap events into bus and feeds tick-stage spans to
+	// tracer; the HTTP layer adds drift-band and shard-health events plus
+	// the parse/queue/ingest stages, and serves both over /v1/events,
+	// /v1/trace and /metrics. Neither influences a prediction bit.
+	bus    *events.Bus
+	tracer *trace.Recorder
+	// streamsStop ends every open SSE stream; CloseStreams closes it so a
+	// graceful http.Server.Shutdown is not held hostage by long-lived
+	// event subscribers.
+	streamsStop      chan struct{}
+	closeStreamsOnce sync.Once
+
 	inflight  sync.WaitGroup // handlers between stop-check and result
 	workerWG  sync.WaitGroup
 	loopWG    sync.WaitGroup
@@ -191,6 +232,7 @@ type Server struct {
 type ingestBatch struct {
 	samples []sampleReq
 	done    chan batchResult
+	enq     time.Time // when the batch joined the queue, for the queue-wait span
 }
 
 type sampleReq struct {
@@ -234,13 +276,30 @@ func New(cfg Config) (*Server, error) {
 	if cfg.EvictAfter > 0 && cfg.EvictEvery <= 0 {
 		cfg.EvictEvery = cfg.EvictAfter / 4
 	}
-	s := &Server{
-		cfg:   cfg,
-		m:     cfg.Monitor,
-		queue: make(chan *ingestBatch, cfg.QueueDepth),
-		stop:  make(chan struct{}),
-		start: time.Now(),
+	if cfg.Events == nil {
+		cfg.Events = events.NewBus()
 	}
+	if cfg.EventBuffer <= 0 {
+		cfg.EventBuffer = 256
+	}
+	if cfg.EventHeartbeat <= 0 {
+		cfg.EventHeartbeat = 15 * time.Second
+	}
+	if cfg.DriftPollEvery <= 0 {
+		cfg.DriftPollEvery = time.Second
+	}
+	s := &Server{
+		cfg:         cfg,
+		m:           cfg.Monitor,
+		queue:       make(chan *ingestBatch, cfg.QueueDepth),
+		stop:        make(chan struct{}),
+		start:       time.Now(),
+		bus:         cfg.Events,
+		tracer:      trace.NewRecorder(),
+		streamsStop: make(chan struct{}),
+	}
+	s.m.SetEventSink(s.bus)
+	s.m.SetTraceRecorder(s.tracer)
 	tickLoops := 1
 	if sm, ok := cfg.Monitor.(Sharded); ok {
 		s.sharded = sm
@@ -253,8 +312,11 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/prediction", s.handlePrediction)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleEndJob)
 	s.mux.HandleFunc("GET /v1/drift", s.handleDrift)
+	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /{$}", s.handleDashboard)
 
 	for i := 0; i < cfg.Workers; i++ {
 		s.workerWG.Add(1)
@@ -268,6 +330,8 @@ func New(cfg Config) (*Server, error) {
 		s.loopWG.Add(1)
 		go s.evictLoop()
 	}
+	s.loopWG.Add(1)
+	go s.driftBandLoop()
 	return s, nil
 }
 
@@ -284,6 +348,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // listener itself, and read-only endpoints keep working afterwards.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
+		s.CloseStreams()
 		close(s.stop)
 		s.inflight.Wait()
 		close(s.queue)
@@ -293,6 +358,20 @@ func (s *Server) Close() error {
 	})
 	return s.closeErr
 }
+
+// CloseStreams ends every open /v1/events stream. SSE subscribers hold
+// their connections indefinitely, which would stall http.Server.Shutdown's
+// graceful drain forever; wire this into the listener's shutdown
+// (http.Server.RegisterOnShutdown) so streams end the moment a drain
+// begins. Safe to call more than once; Close calls it too.
+func (s *Server) CloseStreams() {
+	s.closeStreamsOnce.Do(func() { close(s.streamsStop) })
+}
+
+// Events exposes the server's push-plane bus: the serving process publishes
+// its own lifecycle moments (artifact watcher swaps) through the same bus
+// its HTTP subscribers read.
+func (s *Server) Events() *events.Bus { return s.bus }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
@@ -306,6 +385,8 @@ func (s *Server) worker() {
 		if s.cfg.testHook != nil {
 			s.cfg.testHook()
 		}
+		s.tracer.Observe(trace.StageQueue, b.enq, time.Since(b.enq), len(b.samples))
+		ingestStart := time.Now()
 		var res batchResult
 		for _, sm := range b.samples {
 			if err := s.m.Ingest(sm.job, sm.values); err != nil {
@@ -314,6 +395,7 @@ func (s *Server) worker() {
 				res.accepted++
 			}
 		}
+		s.tracer.Observe(trace.StageIngest, ingestStart, time.Since(ingestStart), len(b.samples))
 		b.done <- res
 	}
 }
@@ -374,6 +456,7 @@ func (s *Server) runTick(loop int) error {
 	s.tickMu.Lock()
 	s.tickDur[s.tickN%tickWindow] = d
 	s.tickN++
+	prevErr := s.lastErrs[slot]
 	if err != nil {
 		s.tickErrs++
 		s.lastErrs[slot] = err.Error()
@@ -381,7 +464,43 @@ func (s *Server) runTick(loop int) error {
 		s.lastErrs[slot] = ""
 	}
 	s.tickMu.Unlock()
+	// Health is an edge, not a level: emit only when a loop's error state
+	// flips — first failure after successes, first success after a failure.
+	if failed := err != nil; failed == (prevErr == "") {
+		e := events.Event{Type: events.TypeShardHealth, Shard: events.Intp(slot), Healthy: events.Boolp(!failed)}
+		if err != nil {
+			e.Error = err.Error()
+		}
+		s.bus.Publish(e)
+	}
 	return err
+}
+
+// driftBandLoop watches the fleet PSI score and publishes a drift event
+// whenever it crosses a band boundary (stable / moderate / major) in
+// either direction — the push-plane counterpart of polling GET /v1/drift.
+func (s *Server) driftBandLoop() {
+	defer s.loopWG.Done()
+	t := time.NewTicker(s.cfg.DriftPollEvery)
+	defer t.Stop()
+	last := drift.BandStable // a fleet starts undrifted: score 0
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			st := s.m.DriftStats()
+			if !st.Enabled {
+				continue
+			}
+			band := drift.Band(st.Score)
+			if band == last {
+				continue
+			}
+			s.bus.Publish(events.Event{Type: events.TypeDrift, Score: st.Score, Band: band, PrevBand: last})
+			last = band
+		}
+	}
 }
 
 // lastTickErr joins every tick loop's most recent error state; "" means
@@ -483,6 +602,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	sc := ingestScratchPool.Get().(*ingestScratch)
 	defer ingestScratchPool.Put(sc)
 
+	parseStart := time.Now()
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var err error
 	sc.body, err = readBody(sc.body[:0], body)
@@ -511,10 +631,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "reading body: "+fatal.Error())
 		return
 	}
+	s.tracer.Observe(trace.StageParse, parseStart, time.Since(parseStart), len(samples))
 
 	var res batchResult
 	if len(samples) > 0 {
-		b := &ingestBatch{samples: samples, done: make(chan batchResult, 1)}
+		b := &ingestBatch{samples: samples, done: make(chan batchResult, 1), enq: time.Now()}
 		select {
 		case s.queue <- b:
 		default:
@@ -702,6 +823,9 @@ type healthResponse struct {
 	Shards        int     `json:"shards,omitempty"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	LastTickError string  `json:"last_tick_error,omitempty"`
+	// Classes maps class indices to workload names when the server was
+	// configured with them — the dashboard labels its class mix from here.
+	Classes []string `json:"classes,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -713,6 +837,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Sensors:       s.m.Sensors(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		LastTickError: lastErr,
+		Classes:       s.cfg.ClassNames,
 	}
 	if s.sharded != nil {
 		resp.Shards = s.sharded.NumShards()

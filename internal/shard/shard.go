@@ -41,9 +41,11 @@ import (
 	"time"
 
 	"repro/internal/drift"
+	"repro/internal/events"
 	"repro/internal/fleet"
 	"repro/internal/preprocess"
 	"repro/internal/stream"
+	"repro/internal/trace"
 )
 
 // Config sizes a sharded serving core.
@@ -87,6 +89,11 @@ type Core struct {
 	// concurrently (read locks share); no tick overlaps an installation.
 	swapMu sync.RWMutex
 	swaps  atomic.Uint64
+	// evs is the push-plane sink for fleet-wide swap events; per-shard
+	// monitors publish their prediction/unknown events directly (swap
+	// events muted — the Core publishes exactly one per fleet-wide swap).
+	// Guarded by swapMu alongside the swap protocol it reports on.
+	evs events.Sink
 }
 
 // New validates the configuration and builds an empty sharded core.
@@ -251,6 +258,7 @@ func (c *Core) SwapClassifier(model stream.Classifier) error {
 		}
 	}
 	c.swaps.Add(1)
+	c.publishSwap(model)
 	return nil
 }
 
@@ -276,7 +284,58 @@ func (c *Core) SwapClassifierDrift(model stream.Classifier, cal *drift.Calibrati
 	}
 	c.drift = cal
 	c.swaps.Add(1)
+	c.publishSwap(model)
 	return nil
+}
+
+// publishSwap emits the single fleet-wide swap event; callers hold the
+// swapMu write side, so the event orders exactly with the installation —
+// no shard ticks between the last install and the generation advancing.
+func (c *Core) publishSwap(model stream.Classifier) {
+	if c.evs != nil {
+		c.evs.Publish(events.Event{Type: events.TypeSwap, Model: fmt.Sprintf("%T", model)})
+	}
+}
+
+// muteSwaps passes a shard monitor's events through to the shared sink but
+// drops its swap events: the Core installs one model on N shards and must
+// publish exactly one swap event (and advance the bus generation exactly
+// once), after every shard carries the new model.
+type muteSwaps struct{ sink events.Sink }
+
+func (m muteSwaps) Publish(e events.Event) {
+	if e.Type == events.TypeSwap {
+		return
+	}
+	m.sink.Publish(e)
+}
+
+// SetEventSink attaches the push plane fleet-wide: every shard's
+// prediction and unknown events publish to s, and the Core publishes one
+// swap event per fleet-wide swap (per-shard swap events are muted so
+// subscribers never see a torn N-event generation). nil detaches.
+func (c *Core) SetEventSink(s events.Sink) {
+	c.swapMu.Lock()
+	defer c.swapMu.Unlock()
+	c.evs = s
+	for _, m := range c.monitors {
+		if s == nil {
+			m.SetEventSink(nil)
+		} else {
+			m.SetEventSink(muteSwaps{sink: s})
+		}
+	}
+}
+
+// SetTraceRecorder threads one span recorder through every shard's tick
+// path; the recorder is concurrency-safe, so shards ticking in parallel
+// feed the same stage histograms. nil detaches.
+func (c *Core) SetTraceRecorder(r *trace.Recorder) {
+	c.swapMu.Lock()
+	defer c.swapMu.Unlock()
+	for _, m := range c.monitors {
+		m.SetTraceRecorder(r)
+	}
 }
 
 // Swaps returns the number of completed fleet-wide classifier swaps.

@@ -146,6 +146,14 @@ type Prediction struct {
 	Open *OpenSet
 }
 
+// Unknown reports whether the prediction carries an open-set verdict that
+// rejected it as an unknown workload. False when open-set detection is
+// disabled — the shorthand every consumer of the verdict (event emission,
+// HTTP responses, load-driver scoring) shares.
+func (p *Prediction) Unknown() bool {
+	return p != nil && p.Open != nil && p.Open.Rejected
+}
+
 // OpenSet is one prediction's open-set verdict: the scores beyond the
 // winning probability and whether the calibrated threshold rejected the
 // prediction as an unknown workload.
