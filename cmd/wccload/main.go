@@ -33,10 +33,12 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
+	"net"
 	"net/http"
 	"os"
 	"runtime"
@@ -345,7 +347,7 @@ func run(c config) error {
 		fmt.Printf("  note: %d out-of-distribution jobs injected but the server reports no drift calibration\n", mix.UnknownJobs)
 	}
 	if ev != nil {
-		counts, evicted := ev.stop()
+		counts, evicted, readErr := ev.stop()
 		total := 0
 		var parts []string
 		for _, tc := range counts {
@@ -360,6 +362,9 @@ func run(c config) error {
 		if evicted {
 			fmt.Printf("  note: the event subscription was evicted for falling behind (queue overflow)\n")
 		}
+		if readErr != nil {
+			fmt.Printf("  note: the event stream failed mid-run (%v); delivery counts are a lower bound\n", readErr)
+		}
 	}
 	return nil
 }
@@ -370,6 +375,7 @@ type eventWatch struct {
 	mu      sync.Mutex
 	counts  map[string]int
 	evicted bool
+	readErr error // scanner error other than our own teardown close
 	done    chan struct{}
 }
 
@@ -401,6 +407,15 @@ func watchEvents(client *http.Client, addr string) (*eventWatch, error) {
 			}
 			w.mu.Unlock()
 		}
+		// The scanner is sticky: a mid-stream read failure ends the loop
+		// silently, which would undercount deliveries. stop() closes the
+		// body on purpose, so that one error is expected; anything else
+		// is a real stream failure the summary must disclose.
+		if err := sc.Err(); err != nil && !errors.Is(err, net.ErrClosed) {
+			w.mu.Lock()
+			w.readErr = err
+			w.mu.Unlock()
+		}
 	}()
 	return w, nil
 }
@@ -412,7 +427,7 @@ type typeCount struct {
 
 // stop lets in-flight write-back events settle, closes the subscription,
 // and returns per-type delivery counts in a stable order.
-func (w *eventWatch) stop() ([]typeCount, bool) {
+func (w *eventWatch) stop() ([]typeCount, bool, error) {
 	time.Sleep(500 * time.Millisecond)
 	w.body.Close()
 	<-w.done
@@ -423,7 +438,7 @@ func (w *eventWatch) stop() ([]typeCount, bool) {
 		out = append(out, typeCount{typ, n})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].typ < out[j].typ })
-	return out, w.evicted
+	return out, w.evicted, w.readErr
 }
 
 func fetchDrift(client *http.Client, addr string) (*driftState, error) {

@@ -1,0 +1,71 @@
+// Command wccvet runs the repo's custom serving-plane invariant
+// analyzers (internal/analysis/...) over Go packages:
+//
+//	go run ./cmd/wccvet ./...          # analyze everything, CI form
+//	go vet -vettool=$(which wccvet) ./...  # equivalent, explicit form
+//
+// The binary is both the driver and the tool. Invoked with package
+// patterns it re-executes `go vet -vettool=<itself>` so the go command
+// does what it is uniquely good at — loading packages, caching facts,
+// analyzing in dependency order — and invoked by go vet (first argument
+// is a flag or a *.cfg file, the vet tool protocol) it serves the
+// unitchecker side. This is the supported shape for custom vet tools
+// that cannot assume the multichecker's go/packages loader is available;
+// this repo vendors only the x/tools subset the Go toolchain itself
+// vendors, which includes unitchecker but not multichecker.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/analysis/boundedqueue"
+	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/lockscope"
+	"repro/internal/analysis/nakedtime"
+	"repro/internal/analysis/stickyerr"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// The vet tool protocol: `go vet` invokes the tool as
+	// `wccvet -V=full`, `wccvet -flags`, then `wccvet <unit>.cfg`.
+	if len(args) > 0 && (strings.HasPrefix(args[0], "-") || strings.HasSuffix(args[0], ".cfg")) {
+		unitchecker.Main(
+			lockscope.Analyzer,
+			hotpath.Analyzer,
+			stickyerr.Analyzer,
+			boundedqueue.Analyzer,
+			nakedtime.Analyzer,
+		) // exits
+	}
+
+	// Driver mode: hand the package patterns to go vet with ourselves as
+	// the tool. os.Executable works under `go run` too — the temporary
+	// binary exists for as long as this process does.
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wccvet: locating own binary: %v\n", err)
+		os.Exit(2)
+	}
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "wccvet: running go vet: %v\n", err)
+		os.Exit(2)
+	}
+}

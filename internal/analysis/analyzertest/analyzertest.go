@@ -1,0 +1,174 @@
+// Package analyzertest drives the wccvet analyzers over source fixtures,
+// filling the role golang.org/x/tools/go/analysis/analysistest plays in
+// fully-networked repos. This repo vendors only the x/tools packages the
+// Go toolchain itself vendors (see vendor/modules.txt), which excludes
+// analysistest and its go/packages dependency tree, so the harness here
+// typechecks fixtures with the standard library's source importer instead
+// — no GOPATH layout, no `go list` subprocess, works offline.
+//
+// Fixtures live under testdata/<case>/ as ordinary parseable Go files.
+// Expected diagnostics are declared inline, analysistest-style: a
+// trailing comment `// want "regexp"` (multiple quoted patterns allowed)
+// on the line the analyzer must flag. The harness fails the test if any
+// want goes unreported or any diagnostic is unexpected, in either
+// direction — so a weakened analyzer breaks tier-1 `go test ./...`, which
+// is the acceptance criterion the fixtures exist to enforce.
+package analyzertest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// want is one expected diagnostic: a pattern anchored to a file line.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// wantRE pulls the quoted patterns out of a want comment; both double
+// quotes and backquotes are accepted, analysistest-style.
+var wantRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"|` + "`[^`]*`")
+
+// Run analyzes the fixture directory with the analyzer and matches the
+// diagnostics against the fixtures' `// want` comments. pkgPath becomes
+// the fixture package's import path, which matters for analyzers that
+// scope themselves by package path (boundedqueue, nakedtime).
+func Run(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) {
+	t.Helper()
+
+	fset := token.NewFileSet()
+	files, wants := parseFixtures(t, fset, dir)
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{
+		// The "source" importer typechecks imported stdlib packages from
+		// GOROOT/src — the only importer that works with no build cache
+		// and no network. Fixtures therefore stick to stdlib imports.
+		Importer: importer.ForCompiler(fset, "source", nil),
+	}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("typechecking fixtures in %s: %v", dir, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   map[*analysis.Analyzer]interface{}{},
+		ReadFile:   os.ReadFile,
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if len(a.Requires) > 0 {
+		t.Fatalf("analyzer %s has Requires; this harness runs dependency-free analyzers only", a.Name)
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	// Every diagnostic must satisfy a want on its line...
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		file := filepath.Base(pos.Filename)
+		found := false
+		for _, w := range wants {
+			if w.file == file && w.line == pos.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", file, pos.Line, d.Message)
+		}
+	}
+	// ...and every want must have been satisfied.
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// parseFixtures parses every .go file under dir (sorted, for stable
+// package composition) and extracts the `// want` expectations.
+func parseFixtures(t *testing.T, fset *token.FileSet, dir string) ([]*ast.File, []*want) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	var files []*ast.File
+	var wants []*want
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture %s: %v", path, err)
+		}
+		files = append(files, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				quoted := wantRE.FindAllString(rest, -1)
+				if len(quoted) == 0 {
+					t.Fatalf("%s:%d: malformed want comment: %s", name, line, c.Text)
+				}
+				for _, q := range quoted {
+					s, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", name, line, q, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						t.Fatalf("%s:%d: want pattern does not compile: %v", name, line, err)
+					}
+					wants = append(wants, &want{file: name, line: line, pattern: re})
+				}
+			}
+		}
+	}
+	return files, wants
+}

@@ -1,0 +1,89 @@
+// Package boundedqueue checks the push plane's backpressure invariant:
+// every data-carrying channel in the events and server packages must be
+// created with an explicit capacity. An unbounded `make(chan T)` in a
+// subscriber or ingest queue reintroduces the failure mode PR 7's design
+// exists to prevent — one slow consumer blocking the publisher, which
+// under lockscope's rules means blocking a tick.
+//
+// The analyzer flags any `make(chan T)` without a capacity argument in
+// in-scope packages, except `chan struct{}`: zero-width channels carry no
+// data, they are close-to-signal latches (done/stop channels), and an
+// unbuffered handshake is their correct form.
+//
+// Scope is by package path suffix (internal/events, internal/server) so
+// the rule lands on the packages whose channels face external consumers;
+// other packages may use unbuffered channels for internal rendezvous
+// where blocking is the point (e.g. a worker handoff with both ends
+// owned locally).
+package boundedqueue
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzer is the boundedqueue invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "boundedqueue",
+	Doc:  "report unbounded make(chan T) for data-carrying channels in push-plane packages",
+	Run:  run,
+}
+
+// scopeSuffixes are the package-path suffixes the rule applies to.
+var scopeSuffixes = []string{
+	"internal/events",
+	"internal/server",
+}
+
+func inScope(path string) bool {
+	for _, s := range scopeSuffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) || strings.HasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !inScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "make" || len(call.Args) != 1 {
+				return true
+			}
+			// A one-argument make with a channel type is capacity-less.
+			t := pass.TypesInfo.TypeOf(call.Args[0])
+			ch, ok := t.(*types.Chan)
+			if !ok {
+				if named, isNamed := t.(*types.Named); isNamed {
+					ch, ok = named.Underlying().(*types.Chan)
+				}
+				if !ok {
+					return true
+				}
+			}
+			if isEmptyStruct(ch.Elem()) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "unbounded make(chan %s) in push-plane package %s: pass an explicit capacity so a slow consumer cannot block the publisher", ch.Elem().String(), pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isEmptyStruct reports whether t is struct{} — a signal channel element.
+func isEmptyStruct(t types.Type) bool {
+	st, ok := t.Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}

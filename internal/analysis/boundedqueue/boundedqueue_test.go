@@ -1,0 +1,16 @@
+package boundedqueue_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/boundedqueue"
+)
+
+func TestBoundedqueueInScope(t *testing.T) {
+	analyzertest.Run(t, boundedqueue.Analyzer, "testdata/scoped", "repro/internal/events")
+}
+
+func TestBoundedqueueOutOfScope(t *testing.T) {
+	analyzertest.Run(t, boundedqueue.Analyzer, "testdata/unscoped", "example.com/util")
+}

@@ -1,0 +1,25 @@
+// Package fixture exercises boundedqueue inside an in-scope package
+// path: data channels need explicit capacities, signal latches do not.
+package fixture
+
+type event struct{ id int }
+
+func badUnbounded() chan event {
+	return make(chan event) // want `unbounded make\(chan`
+}
+
+func goodBounded() chan event {
+	return make(chan event, 128)
+}
+
+// goodSignal: zero-width close-to-signal latches are the one sanctioned
+// unbuffered form.
+func goodSignal() chan struct{} {
+	return make(chan struct{})
+}
+
+type queue chan event
+
+func badNamedUnbounded() queue {
+	return make(queue) // want `unbounded make\(chan`
+}

@@ -1,0 +1,8 @@
+// Package fixture exercises boundedqueue outside its scoped package
+// paths: internal rendezvous channels elsewhere are free to block, so
+// nothing here is flagged.
+package fixture
+
+func handoff() chan int {
+	return make(chan int)
+}

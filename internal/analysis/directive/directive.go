@@ -1,0 +1,41 @@
+// Package directive parses the //wcc: source annotations the wccvet
+// analyzers key on: //wcc:hotpath and //wcc:tickpath on function doc
+// comments, //wcc:coordlock on mutex struct fields. A directive is a
+// comment line whose text is exactly "//wcc:<name>" (with optional
+// trailing explanation after a space), following the //go: directive
+// convention: no space before "wcc", so gofmt leaves it alone and a
+// prose mention of the marker never counts.
+package directive
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Has reports whether the comment group contains the //wcc:<name>
+// directive.
+func Has(cg *ast.CommentGroup, name string) bool {
+	if cg == nil {
+		return false
+	}
+	marker := "//wcc:" + name
+	for _, c := range cg.List {
+		text := c.Text
+		if text == marker || strings.HasPrefix(text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// HasFunc reports whether the function's doc comment carries the
+// //wcc:<name> directive.
+func HasFunc(fn *ast.FuncDecl, name string) bool {
+	return Has(fn.Doc, name)
+}
+
+// HasField reports whether a struct field carries the //wcc:<name>
+// directive, in either its doc comment (above) or line comment (trailing).
+func HasField(f *ast.Field, name string) bool {
+	return Has(f.Doc, name) || Has(f.Comment, name)
+}

@@ -1,0 +1,66 @@
+// Package fixture exercises the hotpath analyzer: allocating constructs
+// in //wcc:hotpath functions are flagged, terminating guard blocks and
+// plain append are not, and unannotated functions are out of scope.
+package fixture
+
+import (
+	"fmt"
+	"strconv"
+)
+
+type parser struct {
+	buf []float64
+}
+
+//wcc:hotpath
+func (p *parser) coldGuardAllowed(line []byte) (float64, error) {
+	if len(line) == 0 {
+		return 0, fmt.Errorf("empty line") // cold guard: not flagged
+	}
+	v, err := strconv.ParseFloat(string(line), 64) // want `string\(\[\]byte\) conversion`
+	if err != nil {
+		return 0, err
+	}
+	p.buf = append(p.buf, v) // amortized append: not flagged
+	return v, nil
+}
+
+//wcc:hotpath
+func (p *parser) badFmt(v float64) string {
+	return fmt.Sprintf("%f", v) // want `call to fmt.Sprintf`
+}
+
+//wcc:hotpath
+func (p *parser) badMake(n int) {
+	p.buf = make([]float64, n) // want `make in //wcc:hotpath`
+}
+
+//wcc:hotpath
+func (p *parser) badEscape() *parser {
+	return &parser{} // want `address of composite literal`
+}
+
+//wcc:hotpath
+func (p *parser) badClosure() func() {
+	return func() {} // want `function literal`
+}
+
+//wcc:hotpath
+func (p *parser) badDefer() {
+	defer p.reset() // want `defer in //wcc:hotpath`
+	p.buf = p.buf[:0]
+}
+
+//wcc:hotpath
+func (p *parser) badBytes(s string) []byte {
+	return []byte(s) // want `\[\]byte\(string\) conversion`
+}
+
+func (p *parser) reset() {}
+
+// slowPath carries no annotation; the same constructs are fine here.
+func (p *parser) slowPath(v float64) string {
+	p.buf = make([]float64, 8)
+	defer p.reset()
+	return fmt.Sprintf("%f", v)
+}

@@ -1,0 +1,12 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/lockscope"
+)
+
+func TestLockscope(t *testing.T) {
+	analyzertest.Run(t, lockscope.Analyzer, "testdata/basic", "example.com/serveplane")
+}

@@ -1,0 +1,16 @@
+package nakedtime_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/nakedtime"
+)
+
+func TestNakedtime(t *testing.T) {
+	analyzertest.Run(t, nakedtime.Analyzer, "testdata/tickpath", "example.com/serve")
+}
+
+func TestNakedtimeEnforcesAnnotation(t *testing.T) {
+	analyzertest.Run(t, nakedtime.Analyzer, "testdata/enforce", "repro/internal/fleet")
+}

@@ -1,0 +1,17 @@
+// Package fixture exercises nakedtime's annotation-enforcement rule for
+// in-scope packages: Tick entry points must carry //wcc:tickpath so the
+// rule cannot be dropped by deleting a comment.
+package fixture
+
+import "time"
+
+type monitor struct{ last time.Time }
+
+func (m *monitor) Tick(now time.Time) { // want `must carry //wcc:tickpath`
+	m.last = now
+}
+
+//wcc:tickpath
+func (m *monitor) TickShard(now time.Time, shard int) {
+	m.last = now
+}

@@ -1,0 +1,35 @@
+// Package fixture exercises nakedtime on annotated tick paths: direct
+// clock reads are flagged, arithmetic on caller-provided times is not,
+// and unannotated loop drivers stay free to read the clock.
+package fixture
+
+import "time"
+
+type core struct{ last time.Time }
+
+//wcc:tickpath ticks take their clock from the caller
+func (c *core) Tick(now time.Time) time.Duration {
+	d := now.Sub(c.last) // arithmetic on a caller-provided time: fine
+	c.last = now
+	return d
+}
+
+//wcc:tickpath
+func (c *core) badTick() {
+	c.last = time.Now()          // want `time\.Now inside`
+	time.Sleep(time.Millisecond) // want `time\.Sleep inside`
+}
+
+//wcc:tickpath
+func (c *core) badClosure() func() time.Duration {
+	return func() time.Duration {
+		return time.Since(c.last) // want `time\.Since inside`
+	}
+}
+
+// Run is the loop driver: unannotated, it owns the real clock.
+func (c *core) Run(ticks int) {
+	for i := 0; i < ticks; i++ {
+		c.Tick(time.Now())
+	}
+}

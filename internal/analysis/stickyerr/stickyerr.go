@@ -1,0 +1,160 @@
+// Package stickyerr checks the sticky-error decoding contract that
+// internal/wire's readers (and bufio.Scanner-shaped APIs generally)
+// depend on: decode methods return values without per-call errors, the
+// first failure latches, and the consumer must call Err() before trusting
+// what it decoded. A loop that reads frames and never checks Err() turns
+// a truncated artifact or corrupt ingest stream into silently-missing
+// samples — the exact failure the PR 6 framing tests exist to keep loud.
+//
+// The analyzer is structural and intra-procedural. For each function it
+// finds local variables whose type carries an `Err() error` method. If
+// such a variable has non-Err methods called on it (it is being used to
+// decode) but Err() is never called on any path in the function, and the
+// variable never escapes the function (it is not passed to another
+// function, returned, stored elsewhere, or address-taken outside a
+// method call), the declaration is flagged. An escaping decoder is
+// assumed to have its Err() checked by whoever it escapes to — that is
+// the callee's contract, and cross-function tracking is out of scope for
+// a per-package pass.
+package stickyerr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzer is the stickyerr invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "stickyerr",
+	Doc:  "report locally-consumed sticky-error decoders (types with Err() error) whose Err() is never checked",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil, nil
+}
+
+// decoderUse accumulates how one sticky-error local is used.
+type decoderUse struct {
+	pos     ast.Node // declaration site, for the diagnostic
+	decoded bool     // a non-Err method was called on it
+	checked bool     // Err() was called on it
+	escaped bool     // any use other than a method call on it
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	// Collect local sticky-error variables from := and var declarations.
+	locals := map[types.Object]*decoderUse{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		var names []*ast.Ident
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok.String() != ":=" {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					names = append(names, id)
+				}
+			}
+		case *ast.ValueSpec:
+			names = n.Names
+		default:
+			return true
+		}
+		for _, id := range names {
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil || !hasErrMethod(obj.Type()) {
+				continue
+			}
+			locals[obj] = &decoderUse{pos: id}
+		}
+		return true
+	})
+	if len(locals) == 0 {
+		return
+	}
+
+	// First pass: record receiver idents of method calls on the locals,
+	// classifying Err vs decode. Any other appearance is an escape.
+	methodRecv := map[*ast.Ident]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		use, ok := locals[pass.TypesInfo.Uses[id]]
+		if !ok {
+			return true
+		}
+		methodRecv[id] = true
+		if sel.Sel.Name == "Err" {
+			use.checked = true
+		} else {
+			use.decoded = true
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || methodRecv[id] {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if use, ok := locals[obj]; ok {
+			use.escaped = true
+		}
+		return true
+	})
+
+	for obj, use := range locals {
+		if use.decoded && !use.checked && !use.escaped {
+			pass.Reportf(use.pos.Pos(), "sticky-error decoder %q is consumed but its Err() is never checked in this function; a latched decode failure would pass silently", obj.Name())
+		}
+	}
+}
+
+// hasErrMethod reports whether t (through a pointer receiver if needed)
+// has a method Err() error.
+func hasErrMethod(t types.Type) bool {
+	if _, ok := t.Underlying().(*types.Pointer); !ok {
+		if _, isIface := t.Underlying().(*types.Interface); !isIface {
+			t = types.NewPointer(t)
+		}
+	}
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		m := ms.At(i)
+		if m.Obj().Name() != "Err" {
+			continue
+		}
+		sig, ok := m.Obj().Type().(*types.Signature)
+		if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+			continue
+		}
+		named, ok := sig.Results().At(0).Type().(*types.Named)
+		if ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package stickyerr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/stickyerr"
+)
+
+func TestStickyerr(t *testing.T) {
+	analyzertest.Run(t, stickyerr.Analyzer, "testdata/basic", "example.com/decode")
+}

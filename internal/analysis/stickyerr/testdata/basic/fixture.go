@@ -1,0 +1,74 @@
+// Package fixture exercises the stickyerr analyzer: a locally-consumed
+// sticky-error decoder must have Err() checked; escaping decoders are the
+// consumer's responsibility.
+package fixture
+
+type reader struct {
+	vals []float64
+	i    int
+	err  error
+}
+
+func (r *reader) Next() float64 {
+	if r.i >= len(r.vals) {
+		r.err = errTruncated
+		return 0
+	}
+	v := r.vals[r.i]
+	r.i++
+	return v
+}
+
+func (r *reader) Err() error { return r.err }
+
+var errTruncated = errorString("truncated")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func newReader(vals []float64) *reader { return &reader{vals: vals} }
+
+func badNeverChecked(vals []float64) float64 {
+	r := newReader(vals) // want `Err\(\) is never checked`
+	var sum float64
+	for i := 0; i < 4; i++ {
+		sum += r.Next()
+	}
+	return sum
+}
+
+func goodChecked(vals []float64) (float64, error) {
+	r := newReader(vals)
+	var sum float64
+	for i := 0; i < 4; i++ {
+		sum += r.Next()
+	}
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	return sum, nil
+}
+
+// goodEscapes hands the decoder to a callee; checking Err() becomes the
+// callee's contract and the local is not flagged.
+func goodEscapes(vals []float64) (float64, error) {
+	r := newReader(vals)
+	return drain(r)
+}
+
+func drain(r *reader) (float64, error) {
+	var sum float64
+	for i := 0; i < 4; i++ {
+		sum += r.Next()
+	}
+	return sum, r.Err()
+}
+
+// badValueDecoder covers the var-declared, value-typed form. (Touching
+// its fields directly would count as an escape under the analyzer's
+// conservative use rule, so this case sticks to method calls.)
+func badValueDecoder() float64 {
+	var r reader // want `Err\(\) is never checked`
+	return r.Next() + r.Next()
+}

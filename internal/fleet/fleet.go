@@ -89,6 +89,12 @@ type Config struct {
 	// In-distribution predictions are bit-identical with or without it —
 	// scoring annotates, it never alters Class/Probability/Probs.
 	Drift *drift.Calibration
+	// Now, when non-nil, replaces the real clock for last-seen stamps,
+	// idle-eviction cutoffs and per-stage trace timestamps. Tests and tick
+	// drivers that own the cadence inject it so tick output is a pure
+	// function of its inputs (the //wcc:tickpath discipline); nil means
+	// time.Now.
+	Now func() time.Time
 }
 
 // jobState is one job's slot in the registry, guarded by its shard's mutex.
@@ -120,6 +126,13 @@ type Monitor struct {
 	dim    int
 	batch  BatchClassifier // nil when Model has no batched path
 	shards []*shard
+	now    func() time.Time // injected clock (Config.Now, default time.Now)
+	// tickMu serialises ticks and model/drift swaps. Event publishes are
+	// deliberately ordered under it — the bus is non-blocking by design
+	// (events.Bus.Publish drops rather than waits), and publishing inside
+	// the critical section is what makes a swap event order exactly with
+	// the installation it announces.
+	//wcc:coordlock publish-under-lock is the swap/tick ordering protocol
 	tickMu sync.Mutex
 	// dcal is the live drift calibration (nil = detection disabled). It is
 	// written only while holding BOTH tickMu and driftMu, so Tick reads it
@@ -162,6 +175,10 @@ func New(cfg Config) (*Monitor, error) {
 		dim:    preprocess.CovarianceDim(cfg.Sensors),
 		dcal:   cfg.Drift,
 		shards: make([]*shard, cfg.Shards),
+		now:    cfg.Now,
+	}
+	if m.now == nil {
+		m.now = time.Now
 	}
 	if b, ok := cfg.Model.(BatchClassifier); ok {
 		m.batch = b
@@ -247,7 +264,7 @@ func (m *Monitor) Ingest(jobID int, sample []float64) error {
 	if err == nil {
 		js.dirty = true
 		js.samples++
-		js.lastSeen = time.Now().UnixNano()
+		js.lastSeen = m.now().UnixNano()
 		if sh.dw != nil {
 			sh.dw.Add(sh.dref, sample)
 		}
@@ -283,6 +300,8 @@ type collected struct {
 // next tick. A tick that fails (embedding error, model error, row-count
 // mismatch) leaves every collected job dirty, so the next tick re-scores
 // them — a transient error never silently drops pending classifications.
+//
+//wcc:tickpath reads the clock only through the injected m.now
 func (m *Monitor) Tick() (TickStats, error) {
 	m.tickMu.Lock()
 	defer m.tickMu.Unlock()
@@ -290,7 +309,7 @@ func (m *Monitor) Tick() (TickStats, error) {
 	var stats TickStats
 	var batch []collected
 	var feats []float64
-	collectStart := time.Now()
+	collectStart := m.now()
 	for _, sh := range m.shards {
 		sh.mu.Lock()
 		for _, js := range sh.jobs {
@@ -317,10 +336,10 @@ func (m *Monitor) Tick() (TickStats, error) {
 	// Stage spans record only non-empty passes: at a 10ms cadence most
 	// ticks collect nothing, and those would drown the ring the sampled
 	// trace endpoint serves.
-	m.tracer.Observe(trace.StageCollect, collectStart, time.Since(collectStart), len(batch))
+	m.tracer.Observe(trace.StageCollect, collectStart, m.now().Sub(collectStart), len(batch))
 
 	x := &mat.Matrix{Rows: len(batch), Cols: m.dim, Data: feats}
-	classifyStart := time.Now()
+	classifyStart := m.now()
 	var probs *mat.Matrix
 	var err error
 	if m.batch != nil {
@@ -331,7 +350,7 @@ func (m *Monitor) Tick() (TickStats, error) {
 	if err != nil {
 		return stats, err
 	}
-	m.tracer.Observe(trace.StageClassify, classifyStart, time.Since(classifyStart), len(batch))
+	m.tracer.Observe(trace.StageClassify, classifyStart, m.now().Sub(classifyStart), len(batch))
 	if probs.Rows != len(batch) {
 		return stats, fmt.Errorf("fleet: model returned %d rows for %d windows", probs.Rows, len(batch))
 	}
@@ -341,7 +360,7 @@ func (m *Monitor) Tick() (TickStats, error) {
 	// ordering doesn't matter — each job is visited once. The dirty flag is
 	// retired only here, after the model call succeeded; a job that received
 	// more samples while inference ran stays dirty for the next tick.
-	writeStart := time.Now()
+	writeStart := m.now()
 	for i, c := range batch {
 		row := probs.Row(i)
 		best := mat.ArgMax(row)
@@ -391,7 +410,7 @@ func (m *Monitor) Tick() (TickStats, error) {
 			}
 		}
 	}
-	m.tracer.Observe(trace.StageWriteBack, writeStart, time.Since(writeStart), len(batch))
+	m.tracer.Observe(trace.StageWriteBack, writeStart, m.now().Sub(writeStart), len(batch))
 	stats.Classified = len(batch)
 	m.ticks.Add(1)
 	m.classed.Add(uint64(len(batch)))
@@ -557,7 +576,7 @@ func (m *Monitor) EvictIdle(maxIdle time.Duration) int {
 	if maxIdle < 0 {
 		maxIdle = 0
 	}
-	cutoff := time.Now().Add(-maxIdle).UnixNano()
+	cutoff := m.now().Add(-maxIdle).UnixNano()
 	n := 0
 	for _, sh := range m.shards {
 		sh.mu.Lock()

@@ -88,6 +88,8 @@ func compileFlat(trees []*tree.Classifier, numClasses int) *flatForest {
 // lane finishes. Per-row accumulation order and the final scaling match
 // predictProbaInto bit for bit; interleaving rows never reorders any
 // single row's additions.
+//
+//wcc:hotpath zero allocations per call, pinned by an AllocsPerRun gate
 func (f *flatForest) scoreBlock(x, out *mat.Matrix, lo, hi int) {
 	nc := f.numClasses
 	feat, thr, kids, probs := f.feat, f.thr, f.kids, f.probs

@@ -151,6 +151,9 @@ func TestDecodeModelRejectsInsaneDimensions(t *testing.T) {
 		w.I64(layers)
 		w.Bool(false)
 		w.Int(0) // no tensors
+		if err := w.Err(); err != nil {
+			t.Fatalf("crafting payload: %v", err)
+		}
 		return buf.Bytes()
 	}
 	cases := [][5]int64{

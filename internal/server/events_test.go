@@ -21,7 +21,11 @@ type sseFrame struct {
 }
 
 // readSSE parses frames off an event stream, sending each complete frame on
-// the returned channel until the stream ends.
+// the returned channel until the stream ends. A scanner read error is
+// surfaced as a final "read-error" frame rather than a silent stop, so a
+// test waiting on a frame that never arrives fails on the error, not the
+// deadline. (Tests that close the response body to end a subscription see
+// that close as a read-error frame after the frames they asserted on.)
 func readSSE(r io.Reader) <-chan sseFrame {
 	ch := make(chan sseFrame, 64)
 	go func() {
@@ -43,6 +47,9 @@ func readSSE(r io.Reader) <-chan sseFrame {
 			case strings.HasPrefix(line, "data: "):
 				f.data = strings.TrimPrefix(line, "data: ")
 			}
+		}
+		if err := sc.Err(); err != nil {
+			ch <- sseFrame{event: "read-error", data: err.Error()}
 		}
 	}()
 	return ch

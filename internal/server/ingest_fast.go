@@ -152,6 +152,8 @@ var (
 // or extra fields, a number JSON or the int job field would reject — and
 // the caller must fall back to parseIngestLine, which stays authoritative
 // for both acceptance and error text.
+//
+//wcc:hotpath zero allocations per call, pinned by an AllocsPerRun gate
 func parseIngestLineFast(line int, raw []byte, arena []float64) (sampleReq, []float64, bool) {
 	if !bytes.HasPrefix(raw, ingestLinePrefix) {
 		return sampleReq{}, arena, false

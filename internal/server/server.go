@@ -164,6 +164,10 @@ type Config struct {
 	// often the fleet PSI score is checked against the stable/moderate/major
 	// band boundaries to emit drift events on crossings.
 	DriftPollEvery time.Duration
+	// Now, when non-nil, replaces the real clock for tick latency
+	// measurement (see fleet.Config.Now for the same knob on the monitor);
+	// nil means time.Now.
+	Now func() time.Time
 
 	// testHook, when non-nil, runs at the top of every worker batch —
 	// tests use it to hold workers and fill the queue deterministically.
@@ -191,6 +195,7 @@ type Server struct {
 	queue   chan *ingestBatch
 	stop    chan struct{}
 	start   time.Time
+	now     func() time.Time // injected clock (Config.Now, default time.Now)
 
 	// bus and tracer are the observability plane: the monitor publishes
 	// prediction/unknown/swap events into bus and feeds tick-stage spans to
@@ -288,12 +293,16 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DriftPollEvery <= 0 {
 		cfg.DriftPollEvery = time.Second
 	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
 	s := &Server{
 		cfg:         cfg,
 		m:           cfg.Monitor,
 		queue:       make(chan *ingestBatch, cfg.QueueDepth),
 		stop:        make(chan struct{}),
 		start:       time.Now(),
+		now:         cfg.Now,
 		bus:         cfg.Events,
 		tracer:      trace.NewRecorder(),
 		streamsStop: make(chan struct{}),
@@ -440,15 +449,16 @@ func (s *Server) finalTick() error {
 // on a sharded fleet; fullTick runs the unsharded whole-fleet pass.
 const fullTick = -1
 
+//wcc:tickpath latency is measured on the injected s.now clock
 func (s *Server) runTick(loop int) error {
-	t0 := time.Now()
+	t0 := s.now()
 	var err error
 	if s.sharded != nil && loop != fullTick {
 		_, err = s.sharded.TickShard(loop)
 	} else {
 		_, err = s.m.Tick()
 	}
-	d := time.Since(t0)
+	d := s.now().Sub(t0)
 	slot := 0
 	if loop > 0 {
 		slot = loop

@@ -70,6 +70,9 @@ type Config struct {
 	// monitoring on every shard (see fleet.Config.Drift); DriftStats
 	// merges the per-shard histograms back into one fleet-wide view.
 	Drift *drift.Calibration
+	// Now, when non-nil, is handed to every shard monitor as its clock
+	// (see fleet.Config.Now); nil means time.Now.
+	Now func() time.Time
 }
 
 // Core is a sharded fleet: N independent fleet.Monitor shards behind the
@@ -87,6 +90,9 @@ type Core struct {
 	// the read side, SwapClassifier holds the write side while installing
 	// the new model on all shards. Ticks on different shards proceed
 	// concurrently (read locks share); no tick overlaps an installation.
+	// Waiting for the per-shard tick goroutines and publishing the swap
+	// event happen under it by design — that ordering IS the protocol.
+	//wcc:coordlock tick barrier and swap publish order under this lock
 	swapMu sync.RWMutex
 	swaps  atomic.Uint64
 	// evs is the push-plane sink for fleet-wide swap events; per-shard
@@ -115,6 +121,7 @@ func New(cfg Config) (*Core, error) {
 			Model:   cfg.Model,
 			Shards:  cfg.RegistryShards,
 			Drift:   cfg.Drift,
+			Now:     cfg.Now,
 		})
 		if err != nil {
 			return nil, err
@@ -154,6 +161,8 @@ func (c *Core) Ingest(jobID int, sample []float64) error {
 // returned alongside the stats of the shards that succeeded. The model
 // generation is consistent across the pass — a concurrent SwapClassifier
 // takes effect entirely before or entirely after it.
+//
+//wcc:tickpath the per-monitor clocks are injected at construction
 func (c *Core) Tick() (fleet.TickStats, error) {
 	c.swapMu.RLock()
 	defer c.swapMu.RUnlock()
@@ -175,6 +184,8 @@ func (c *Core) Tick() (fleet.TickStats, error) {
 // may tick concurrently; per-shard tick loops built on this — the HTTP
 // serving layer runs its own, and Run packages the same shape for
 // in-process callers — avoid the whole-fleet barrier of Tick.
+//
+//wcc:tickpath the per-monitor clocks are injected at construction
 func (c *Core) TickShard(i int) (fleet.TickStats, error) {
 	if i < 0 || i >= len(c.monitors) {
 		return fleet.TickStats{}, fmt.Errorf("shard: no shard %d (have %d)", i, len(c.monitors))

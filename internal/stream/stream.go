@@ -59,6 +59,8 @@ func NewWindowedEmbedder(window, sensors int, scaler *preprocess.StandardScaler)
 // Push adds one telemetry sample (one value per sensor). The sample is
 // standardised with the column statistics of the ring position it lands in,
 // matching how offline training standardised flattened windows.
+//
+//wcc:hotpath zero allocations per call, pinned by an AllocsPerRun gate
 func (w *WindowedEmbedder) Push(sample []float64) error {
 	if len(sample) != w.sensors {
 		return fmt.Errorf("stream: sample has %d sensors, want %d", len(sample), w.sensors)
@@ -111,6 +113,8 @@ func (w *WindowedEmbedder) Features() (*mat.Matrix, error) {
 // FeaturesInto writes the current covariance embedding into dst, which must
 // have length FeatureDim. It is the allocation-free variant of Features used
 // by batched serving paths that assemble many jobs' features into one matrix.
+//
+//wcc:hotpath zero allocations per call, pinned by an AllocsPerRun gate
 func (w *WindowedEmbedder) FeaturesInto(dst []float64) error {
 	if !w.Ready() {
 		return fmt.Errorf("stream: only %d of %d samples seen", w.count, w.window)

@@ -1,0 +1,21 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// TestObserveZeroAlloc pins the //wcc:hotpath contract on span recording:
+// Observe runs on every tick stage and every ingest batch, so it must
+// stay a fixed-size histogram update plus a ring write — no allocation.
+func TestObserveZeroAlloc(t *testing.T) {
+	r := NewRecorder()
+	start := time.Unix(1700000000, 0)
+
+	allocs := testing.AllocsPerRun(200, func() {
+		r.Observe(StageClassify, start, 3*time.Millisecond, 128)
+	})
+	if allocs != 0 {
+		t.Fatalf("Recorder.Observe allocates %.1f times per call, want 0", allocs)
+	}
+}

@@ -121,12 +121,18 @@ func TestNaNBitPatternPreserved(t *testing.T) {
 	if got := math.Float64bits(r.F64()); got != 0x7ff8_0000_dead_beef {
 		t.Errorf("NaN payload = %#x", got)
 	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestTruncatedReads(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewWriter(&buf)
 	w.F64s([]float64{1, 2, 3})
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
 	full := buf.Bytes()
 	for cut := 0; cut < len(full); cut++ {
 		r := NewReader(bytes.NewReader(full[:cut]))
@@ -180,6 +186,9 @@ func TestMatrixShapeOverflowRejected(t *testing.T) {
 	w.I64(1 << 32)
 	w.I64(1 << 32)
 	w.F64s(nil)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
 	r := NewReader(&buf)
 	r.Matrix()
 	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "corrupt matrix shape") {
@@ -199,6 +208,9 @@ func TestCorruptBoolAndMatrix(t *testing.T) {
 	w.Int(2)
 	w.Int(3)
 	w.F64s([]float64{1, 2}) // 2 values for a 2x3 shape
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
 	r = NewReader(&buf)
 	r.Matrix()
 	if r.Err() == nil {

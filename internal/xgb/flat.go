@@ -101,6 +101,8 @@ func (f *flatEnsemble) predictRow(root int32, row []float64) float64 {
 // a leaf early idle until the slowest lane finishes). Accumulation order
 // (round, class, row) and the softmax match probaBlock bit for bit;
 // interleaving rows never reorders any single row's additions.
+//
+//wcc:hotpath zero allocations per call, pinned by an AllocsPerRun gate
 func (f *flatEnsemble) scoreBlock(x, out *mat.Matrix, lo, hi int) {
 	feat, thr, kids := f.feat, f.thr, f.kids
 	xd, xc := x.Data, x.Cols
@@ -159,10 +161,8 @@ func (f *flatEnsemble) scoreBlock(x, out *mat.Matrix, lo, hi int) {
 			od[i*oc+k] += lr * f.predictRow(root, xd[i*xc:(i+1)*xc])
 		}
 	}
-	scratch := make([]float64, f.numClasses)
 	for i := lo; i < hi; i++ {
 		dst := od[i*oc : i*oc+f.numClasses]
-		copy(scratch, dst)
-		softmaxInto(dst, scratch)
+		softmaxInto(dst, dst)
 	}
 }

@@ -206,6 +206,9 @@ func (c *Classifier) Fit(x *mat.Matrix, y []int, numClasses int, evalX *mat.Matr
 	return nil
 }
 
+// softmaxInto writes softmax(scores) into dst. dst may alias scores: the
+// max is read before any write, and each scores[i] is read before dst[i]
+// is written — the flat kernel's in-place call depends on this.
 func softmaxInto(dst, scores []float64) {
 	max := scores[0]
 	for _, v := range scores[1:] {
