@@ -1,0 +1,21 @@
+# Build the serving binaries and bake a small smoke model, so a container
+# fleet (see docker-compose.yml) boots with zero external state. The
+# module vendors its only dependency, so the build never touches the
+# network after the base image pull.
+FROM golang:1.24-alpine AS build
+WORKDIR /src
+COPY . .
+RUN go build -mod=vendor -o /out/wccserve ./cmd/wccserve \
+ && go build -mod=vendor -o /out/wccload ./cmd/wccload \
+ && go build -mod=vendor -o /out/wcctrain ./cmd/wcctrain
+# A deterministic small artifact: every node of a compose fleet boots the
+# same model, so the cluster starts converged (identical gen-0 classifiers).
+RUN mkdir -p /models \
+ && /out/wcctrain -model rf -trees 12 -scale 0.05 -max-train 400 -max-test 150 -o /models/smoke.wcc
+
+FROM alpine:3.20
+COPY --from=build /out/ /usr/local/bin/
+COPY --from=build /models/ /models/
+EXPOSE 8077
+ENTRYPOINT ["wccserve"]
+CMD ["-model", "/models/smoke.wcc", "-listen", ":8077"]

@@ -27,6 +27,13 @@
 // the accuracy report to be meaningful: wccinfo shows an artifact's
 // provenance, and the defaults here match wccserve's training defaults
 // (scale 0.08, seed 1) so the two commands agree out of the box.
+//
+// With -cluster (comma-separated node URLs of a wccserve -cluster fleet)
+// each job's batches are sent straight to the node that owns the job —
+// the same splitmix64 hash the nodes route by — so the happy path needs
+// no server-side forwarding. A node that fails mid-run reroutes its
+// batches to the next node (counted, not fatal), and the final fleet
+// snapshot is the union of every node's.
 package main
 
 import (
@@ -49,6 +56,7 @@ import (
 	"time"
 
 	"repro/internal/drift"
+	"repro/internal/shard"
 	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
@@ -65,12 +73,14 @@ func main() {
 	conns := flag.Int("conns", runtime.GOMAXPROCS(0), "concurrent client connections; each fleet job is pinned to one connection")
 	unknownFrac := flag.Float64("unknown-frac", 0, "fraction of fleet jobs driven from out-of-distribution workload profiles; their rejection recall/precision is scored against the server's unknown verdicts")
 	events := flag.Bool("events", false, "subscribe to GET /v1/events for the duration of the run and report delivered event counts by type")
+	clusterURLs := flag.String("cluster", "", "comma-separated base URLs of a wccserve -cluster fleet; each job's batches go to its owning node (client-side hash), and a failing node reroutes to the next instead of aborting the run")
 	flag.Parse()
 
 	if err := run(config{
 		addr: *addr, jobs: *jobs, scale: *scale, seed: *seed,
 		start: *start, seconds: *seconds, batch: *batch, conns: *conns,
 		unknownFrac: *unknownFrac, framing: *framing, events: *events,
+		cluster: *clusterURLs,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "wccload:", err)
 		os.Exit(1)
@@ -88,6 +98,7 @@ type config struct {
 	unknownFrac    float64
 	framing        string
 	events         bool
+	cluster        string
 }
 
 // health mirrors the server's /healthz payload.
@@ -130,10 +141,18 @@ type driftState struct {
 type connStats struct {
 	requests  int
 	throttled int
+	rerouted  int
 	accepted  int
 	rejected  int
 	latencies []time.Duration
 	firstErr  string
+}
+
+// reqBody is one prepared ingest request: the batch bytes plus the node
+// it should land on first (always 0 outside cluster mode).
+type reqBody struct {
+	node int
+	data []byte
 }
 
 func run(c config) error {
@@ -151,11 +170,27 @@ func run(c config) error {
 	if c.conns < 1 {
 		c.conns = 1
 	}
+	// In cluster mode every node URL is a routing target: job k's batches
+	// go to node JobHash(k) % N first — the same splitmix64 placement the
+	// nodes use — so the common case needs no server-side forwarding.
+	nodes := []string{c.addr}
+	if c.cluster != "" {
+		nodes = strings.Split(c.cluster, ",")
+		for i := range nodes {
+			nodes[i] = strings.TrimRight(strings.TrimSpace(nodes[i]), "/")
+		}
+	}
+	nodeOf := func(job int) int {
+		if len(nodes) == 1 {
+			return 0
+		}
+		return int(shard.JobHash(job) % uint64(len(nodes)))
+	}
 
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: c.conns}}
-	hl, err := fetchHealth(client, c.addr)
+	hl, err := fetchHealth(client, nodes[0])
 	if err != nil {
-		return fmt.Errorf("server not reachable at %s: %w", c.addr, err)
+		return fmt.Errorf("server not reachable at %s: %w", nodes[0], err)
 	}
 	if hl.Window < 2 || hl.Sensors < 1 {
 		return fmt.Errorf("server reports implausible window shape %dx%d", hl.Window, hl.Sensors)
@@ -195,16 +230,22 @@ func run(c config) error {
 
 	// Materialise each connection's request bodies up front, so the timed
 	// phase measures serving, not sample encoding. Fleet job k is pinned to
-	// connection k % conns, preserving per-job sample order.
-	bodies := make([][][]byte, c.conns)
-	cur := make([][]byte, c.conns)
-	lines := make([]int, c.conns)
-	flush := func(w int) {
-		if lines[w] == 0 {
+	// connection k % conns, preserving per-job sample order, and batches
+	// are kept per (connection, node) so one request never mixes jobs
+	// owned by different cluster nodes.
+	bodies := make([][]reqBody, c.conns)
+	cur := make([][][]byte, c.conns)
+	lines := make([][]int, c.conns)
+	for w := range cur {
+		cur[w] = make([][]byte, len(nodes))
+		lines[w] = make([]int, len(nodes))
+	}
+	flush := func(w, nd int) {
+		if lines[w][nd] == 0 {
 			return
 		}
-		bodies[w] = append(bodies[w], cur[w])
-		cur[w], lines[w] = nil, 0
+		bodies[w] = append(bodies[w], reqBody{node: nd, data: cur[w][nd]})
+		cur[w][nd], lines[w][nd] = nil, 0
 	}
 	totalSamples := 0
 	for {
@@ -223,24 +264,26 @@ func run(c config) error {
 			}
 		}
 		for _, k := range fanout[s.JobID] {
-			w := k % c.conns
+			w, nd := k%c.conns, nodeOf(k)
 			if contentType == wire.IngestContentType {
-				cur[w] = wire.AppendIngestRecord(cur[w], int64(k), s.Values)
+				cur[w][nd] = wire.AppendIngestRecord(cur[w][nd], int64(k), s.Values)
 			} else {
 				// Patch the job ID per fan-out target instead of
 				// re-marshalling the seven floats each time.
 				patched := append([]byte(`{"job":`+strconv.Itoa(k)+`,`), line[len(`{"job":0,`):]...)
-				cur[w] = append(cur[w], patched...)
-				cur[w] = append(cur[w], '\n')
+				cur[w][nd] = append(cur[w][nd], patched...)
+				cur[w][nd] = append(cur[w][nd], '\n')
 			}
 			totalSamples++
-			if lines[w]++; lines[w] == c.batch {
-				flush(w)
+			if lines[w][nd]++; lines[w][nd] == c.batch {
+				flush(w, nd)
 			}
 		}
 	}
 	for w := 0; w < c.conns; w++ {
-		flush(w)
+		for nd := range nodes {
+			flush(w, nd)
+		}
 	}
 
 	requests := 0
@@ -257,13 +300,16 @@ func run(c config) error {
 	}
 	fmt.Printf("driving %d fleet jobs (%d out-of-distribution) over %d telemetry series into %s: %d samples in %d requests (%d-sample %s batches) across %d connections\n",
 		c.jobs, mix.UnknownJobs, replay.NumJobs(), serving, totalSamples, requests, c.batch, framingName, c.conns)
+	if len(nodes) > 1 {
+		fmt.Printf("cluster mode: %d nodes, batches routed by client-side job hash\n", len(nodes))
+	}
 
 	// Optional event-plane audit: hold one SSE subscription open across the
 	// run so the report can say what the push plane delivered, not just what
 	// the poll endpoints show after the fact.
 	var ev *eventWatch
 	if c.events {
-		ev, err = watchEvents(client, c.addr)
+		ev, err = watchEvents(client, nodes[0])
 		if err != nil {
 			return fmt.Errorf("subscribing to /v1/events: %w", err)
 		}
@@ -276,7 +322,7 @@ func run(c config) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			sendAll(client, c.addr, contentType, bodies[w], &stats[w])
+			sendAll(client, nodes, contentType, bodies[w], &stats[w])
 		}(w)
 	}
 	wg.Wait()
@@ -289,6 +335,7 @@ func run(c config) error {
 		}
 		all.requests += st.requests
 		all.throttled += st.throttled
+		all.rerouted += st.rerouted
 		all.accepted += st.accepted
 		all.rejected += st.rejected
 		all.latencies = append(all.latencies, st.latencies...)
@@ -299,21 +346,38 @@ func run(c config) error {
 
 	fmt.Printf("\nsent %d samples in %s\n", totalSamples, elapsed.Round(time.Millisecond))
 	fmt.Printf("  ingest throughput: %.0f samples/sec (client-observed, end to end)\n", float64(all.accepted)/elapsed.Seconds())
-	fmt.Printf("  requests:          %d ok, %d throttled (429, retried), %d line errors\n",
-		all.requests, all.throttled, all.rejected)
+	fmt.Printf("  requests:          %d ok, %d throttled (429, retried), %d rerouted, %d line errors\n",
+		all.requests, all.throttled, all.rerouted, all.rejected)
 	fmt.Printf("  request latency:   p50 %s  p95 %s  p99 %s  max %s\n",
 		percentile(all.latencies, 0.50), percentile(all.latencies, 0.95),
 		percentile(all.latencies, 0.99), percentile(all.latencies, 1.0))
 	if all.accepted != totalSamples {
-		return fmt.Errorf("server accepted %d of %d samples", all.accepted, totalSamples)
+		if len(nodes) == 1 {
+			return fmt.Errorf("server accepted %d of %d samples", all.accepted, totalSamples)
+		}
+		// A cluster replay that crossed a node failure has bounded,
+		// accounted loss: report it instead of failing the run.
+		fmt.Printf("  note: cluster accepted %d of %d samples (%d lost across reroutes)\n",
+			all.accepted, totalSamples, totalSamples-all.accepted)
 	}
 
 	// Read the fleet back and score it against the simulation's truth:
 	// classification accuracy over the labelled jobs, unknown-rejection
 	// recall/precision over the out-of-distribution jobs.
-	snap, err := fetchSnapshot(client, c.addr)
-	if err != nil {
-		return err
+	// In cluster mode each node's snapshot covers only the jobs it owns;
+	// the union is the fleet.
+	snap := &snapshot{}
+	for _, nd := range nodes {
+		s, err := fetchSnapshot(client, nd)
+		if err != nil {
+			if len(nodes) > 1 {
+				fmt.Printf("  note: snapshot from %s failed (%v); its jobs are missing from the score\n", nd, err)
+				continue
+			}
+			return err
+		}
+		snap.Count += s.Count
+		snap.Jobs = append(snap.Jobs, s.Jobs...)
 	}
 	correct, scored := 0, 0
 	var tally drift.RejectionTally
@@ -335,7 +399,7 @@ func run(c config) error {
 		fmt.Printf("  live accuracy:     %.1f%% (%d/%d labelled jobs classified)\n",
 			100*float64(correct)/float64(scored), scored, mix.IDJobs)
 	}
-	switch ds, err := fetchDrift(client, c.addr); {
+	switch ds, err := fetchDrift(client, nodes[0]); {
 	case err != nil:
 		// A transport or server failure is not "drift disabled": say so,
 		// or an operator (and CI's recall gate) mis-diagnoses the cause.
@@ -458,13 +522,23 @@ func fetchDrift(client *http.Client, addr string) (*driftState, error) {
 }
 
 // sendAll posts one connection's bodies in order, retrying 429s after the
-// server's advertised backoff.
-func sendAll(client *http.Client, addr, contentType string, bodies [][]byte, st *connStats) {
+// server's advertised backoff. A node that fails at the transport or
+// answers 5xx does not kill the run: the batch reroutes to the next node
+// in the ring (the cluster forwards or re-owns the jobs server-side) and
+// the reroute is counted. Only a full rotation of failures — no node
+// would take the batch — is fatal.
+func sendAll(client *http.Client, nodes []string, contentType string, bodies []reqBody, st *connStats) {
 	for _, body := range bodies {
+		shift := 0
 		for {
+			addr := nodes[(body.node+shift)%len(nodes)]
 			reqStart := time.Now()
-			resp, err := client.Post(addr+"/v1/ingest", contentType, bytes.NewReader(body))
+			resp, err := client.Post(addr+"/v1/ingest", contentType, bytes.NewReader(body.data))
 			if err != nil {
+				if shift++; shift < len(nodes) {
+					st.rerouted++
+					continue
+				}
 				st.firstErr = err.Error()
 				return
 			}
@@ -474,6 +548,16 @@ func sendAll(client *http.Client, addr, contentType string, bodies [][]byte, st 
 				st.throttled++
 				time.Sleep(retryAfter(resp))
 				continue
+			}
+			if resp.StatusCode >= 500 {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if shift++; shift < len(nodes) {
+					st.rerouted++
+					continue
+				}
+				st.firstErr = fmt.Sprintf("status %d from every node", resp.StatusCode)
+				return
 			}
 			var ir ingestResponse
 			decErr := json.NewDecoder(resp.Body).Decode(&ir)

@@ -32,6 +32,16 @@
 // flushes pending windows on every shard before exit. cmd/wccload is the
 // matching load generator.
 //
+// With -cluster (requires -listen and -model) the process joins an N-node
+// serving fleet: jobs hash across nodes, ingest for peer-owned jobs is
+// forwarded over the binary peer protocol, job reads redirect to the
+// owner, and a changed artifact rolls out fleet-wide via the two-phase
+// replicate/prepare/commit control plane (see internal/cluster and
+// docs/API.md):
+//
+//	wccserve -model rf-cov.wcc -listen :8077 \
+//	    -cluster http://n0:8077,http://n1:8077,http://n2:8077 -node 0
+//
 // When -jobs exceeds the simulated population of sufficiently long jobs,
 // telemetry series are fanned out to multiple fleet job IDs, so arbitrarily
 // large fleets can be driven from a small simulation.
@@ -47,14 +57,17 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"repro"
 	"repro/internal/artifact"
+	"repro/internal/cluster"
 	"repro/internal/drift"
 	"repro/internal/server"
 	"repro/internal/shard"
@@ -77,6 +90,9 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "with -listen: mount net/http/pprof on this separate address (off by default; keep it loopback-only)")
 	evictAfter := flag.Duration("evict-after", 0, "with -listen: evict jobs idle longer than this (0 disables)")
 	unknownFrac := flag.Float64("unknown-frac", 0, "replay demo: fraction of fleet jobs driven from out-of-distribution workload profiles (scored on rejection when the model carries a drift calibration)")
+	clusterURLs := flag.String("cluster", "", "with -listen and -model: comma-separated base URLs of every cluster node in ID order; this process becomes node -node of that fleet")
+	clusterNode := flag.Int("node", 0, "with -cluster: this process's node ID (index into the -cluster list)")
+	clusterDir := flag.String("cluster-dir", "", "with -cluster: directory for replicated .wcc artifacts (default: a per-node dir under the OS temp dir)")
 	flag.Parse()
 
 	if err := run(config{
@@ -84,6 +100,7 @@ func main() {
 		start: *start, seconds: *seconds, shards: *shards, workers: *workers,
 		tick: *tick, model: *model, modelPoll: *modelPoll,
 		listen: *listen, debugAddr: *debugAddr, evictAfter: *evictAfter, unknownFrac: *unknownFrac,
+		cluster: *clusterURLs, node: *clusterNode, clusterDir: *clusterDir,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "wccserve:", err)
 		os.Exit(1)
@@ -105,6 +122,9 @@ type config struct {
 	debugAddr      string
 	evictAfter     time.Duration
 	unknownFrac    float64
+	cluster        string
+	node           int
+	clusterDir     string
 }
 
 // acquireModel produces the sharded serving core plus the simulator and
@@ -189,6 +209,40 @@ func serveHTTP(c config) error {
 	if err != nil {
 		return err
 	}
+
+	// Cluster mode: this process becomes one node of a replicated serving
+	// fleet. Ingest routes by job hash (forwarded to the owning peer), job
+	// reads redirect, and a changed -model artifact rolls out fleet-wide
+	// through the two-phase replicate/prepare/commit control plane instead
+	// of swapping locally.
+	var node *cluster.Node
+	if c.cluster != "" {
+		if lm == nil {
+			return fmt.Errorf("-cluster needs -model: the rolling-swap control plane replicates artifacts")
+		}
+		peers := strings.Split(c.cluster, ",")
+		for i := range peers {
+			peers[i] = strings.TrimRight(strings.TrimSpace(peers[i]), "/")
+		}
+		if c.clusterDir == "" {
+			c.clusterDir = filepath.Join(os.TempDir(), fmt.Sprintf("wcc-cluster-node%d", c.node))
+		}
+		node, err = cluster.New(cluster.Config{
+			Self:    c.node,
+			Peers:   peers,
+			Core:    monitor,
+			Dir:     c.clusterDir,
+			Window:  window,
+			Sensors: sensors,
+			Scaler:  lm.Artifact.Scaler,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "wccserve: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("cluster setup: %w", err)
+		}
+	}
 	names := make([]string, telemetry.NumClasses)
 	for _, cl := range telemetry.AllClasses() {
 		names[int(cl)] = cl.Name()
@@ -197,8 +251,12 @@ func serveHTTP(c config) error {
 		names = lm.Artifact.Meta.ClassNames
 	}
 
+	serveMonitor := server.Monitor(monitor)
+	if node != nil {
+		serveMonitor = node.Monitor()
+	}
 	srv, err := server.New(server.Config{
-		Monitor:    monitor,
+		Monitor:    serveMonitor,
 		ClassNames: names,
 		TickEvery:  c.tick,
 		Workers:    c.workers,
@@ -214,9 +272,15 @@ func serveHTTP(c config) error {
 	stopWatch := make(chan struct{})
 	watchDone := make(chan struct{})
 	if lm != nil && c.modelPoll > 0 {
+		wc := watchConfig(c, monitor, lm)
+		if node != nil {
+			// A detected artifact change rolls out to every node instead
+			// of swapping only this one.
+			wc.Distribute = node.DistributeFile
+		}
 		go func() {
 			defer close(watchDone)
-			server.Watch(stopWatch, watchConfig(c, monitor, lm))
+			server.Watch(stopWatch, wc)
 		}()
 	} else {
 		close(watchDone)
@@ -249,14 +313,22 @@ func serveHTTP(c config) error {
 	if err != nil {
 		return err
 	}
+	handler := srv.Handler()
+	if node != nil {
+		handler = node.AttachServer(srv)
+		fmt.Printf("cluster node %d of %d (artifact dir %s)\n", node.Self(), node.NumNodes(), c.clusterDir)
+	}
 	fmt.Printf("serving HTTP API on http://%s (%dx%d windows, %d shards, tick %s)\n",
 		ln.Addr(), window, sensors, monitor.NumShards(), c.tick)
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpSrv := &http.Server{Handler: handler}
 	// SSE streams hold their connections open indefinitely; ending them at
 	// shutdown lets the graceful drain below complete instead of timing out.
 	httpSrv.RegisterOnShutdown(srv.CloseStreams)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
+	if node != nil {
+		node.Start()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -279,6 +351,9 @@ func serveHTTP(c config) error {
 	}
 	close(stopWatch)
 	<-watchDone
+	if node != nil {
+		node.Stop()
+	}
 	if err := srv.Close(); err != nil {
 		return fmt.Errorf("final drain tick: %w", err)
 	}

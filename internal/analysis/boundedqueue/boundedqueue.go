@@ -34,6 +34,7 @@ var Analyzer = &analysis.Analyzer{
 
 // scopeSuffixes are the package-path suffixes the rule applies to.
 var scopeSuffixes = []string{
+	"internal/cluster",
 	"internal/events",
 	"internal/server",
 }

@@ -47,6 +47,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/drift"
 	"repro/internal/forest"
@@ -526,6 +527,33 @@ func readInfo(path string, wantDrift bool) (*Info, error) {
 		return nil, errors.New("artifact: missing meta section")
 	}
 	return info, nil
+}
+
+// Identity fingerprints the artifact by its container contents — format
+// version plus every section's name, length and CRC32 — so two files with
+// identical stat signatures but different payloads still compare as
+// different, and two replicas holding the same payload compare as equal.
+// The serving watcher polls it to detect replacements, and the cluster
+// control plane (internal/cluster) uses it as the replication-convergence
+// check: every replica must report the same identity before a rolling
+// swap may prepare.
+func (info *Info) Identity() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "v%d", info.FormatVersion)
+	for _, sec := range info.Sections {
+		fmt.Fprintf(&b, "|%s:%d:%08x", sec.Name, sec.Length, sec.CRC)
+	}
+	return b.String()
+}
+
+// Identity reads the artifact at path and returns its content identity —
+// ReadInfo's cheap meta-only path, so polling it stays inexpensive.
+func Identity(path string) (string, error) {
+	info, err := ReadInfo(path)
+	if err != nil {
+		return "", err
+	}
+	return info.Identity(), nil
 }
 
 // sectionPresent reports whether the table lists a section by name.

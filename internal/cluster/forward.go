@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Peer ingest forwarding: a sample that arrives at the wrong node rides a
+// bounded per-peer queue, is batched into the binary ingest framing of
+// internal/wire, and is POSTed to the owner's /cluster/v1/ingest. One
+// forwarder goroutine per peer keeps per-job sample order — everything a
+// given node forwards to a given peer arrives in enqueue order, so a
+// job's window fills exactly as it would have locally.
+//
+// The queue is bounded and the enqueue non-blocking: a full queue rejects
+// the sample with an error that surfaces in the ingest batch's per-line
+// accounting, the same visible-backpressure posture as the serving
+// layer's 429. Loss during a peer outage is therefore bounded by the
+// queue depth and counted, never silent.
+
+// fwdSample is one queued forwarded sample, or a flush marker.
+type fwdSample struct {
+	job    int
+	values []float64 // owned copy; never aliases pooled parse scratch
+	// flush, when non-nil, marks a synchronisation point: the forwarder
+	// posts everything queued before it, then closes the channel.
+	flush chan struct{}
+}
+
+// forwarder drains one peer's queue.
+type forwarder struct {
+	n    *Node
+	peer int
+	ch   chan fwdSample
+}
+
+func newForwarder(n *Node, peer int) *forwarder {
+	return &forwarder{n: n, peer: peer, ch: make(chan fwdSample, n.cfg.ForwardBuffer)}
+}
+
+// forward enqueues one sample for the owning peer, copying the values
+// first: the caller's slice belongs to the serving layer's pooled parse
+// scratch, which is reused the moment the ingest handler returns, while
+// the queued sample lives until a forwarder batch posts it.
+func (n *Node) forward(owner, jobID int, values []float64) error {
+	f := n.forwarders[owner]
+	if f == nil {
+		return fmt.Errorf("cluster: no forwarder for node %d", owner)
+	}
+	vals := make([]float64, len(values))
+	copy(vals, values)
+	select {
+	case f.ch <- fwdSample{job: jobID, values: vals}:
+		n.forwarded.Add(1)
+		return nil
+	default:
+		n.forwardDropped.Add(1)
+		return fmt.Errorf("cluster: forward queue to node %d full", owner)
+	}
+}
+
+// Flush forces every forwarder to post its queue and waits for all of
+// them (or the timeout). Tests and drain paths use it to make "every
+// accepted sample has reached its owner" a checkable instant.
+func (n *Node) Flush(timeout time.Duration) error {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	var waits []chan struct{}
+	for _, f := range n.forwarders {
+		if f == nil {
+			continue
+		}
+		done := make(chan struct{})
+		select {
+		case f.ch <- fwdSample{flush: done}:
+			waits = append(waits, done)
+		case <-deadline.C:
+			return fmt.Errorf("cluster: flush timed out enqueueing marker for node %d", f.peer)
+		}
+	}
+	for _, done := range waits {
+		select {
+		case <-done:
+		case <-deadline.C:
+			return fmt.Errorf("cluster: flush timed out after %s", timeout)
+		}
+	}
+	return nil
+}
+
+// run drains the queue until Stop, batching up to ForwardBatch samples
+// per POST. On Stop it flushes what is queued best-effort, so a graceful
+// shutdown loses nothing that was accepted.
+func (f *forwarder) run() {
+	defer f.n.wg.Done()
+	buf := make([]byte, 0, 4096)
+	for {
+		select {
+		case <-f.n.stop:
+			f.drainRemaining(&buf)
+			return
+		case s := <-f.ch:
+			f.batch(&buf, s)
+		}
+	}
+}
+
+// batch collects the first sample plus whatever else is immediately
+// queued (up to the batch cap), posts once, then releases any flush
+// markers collected along the way.
+func (f *forwarder) batch(buf *[]byte, first fwdSample) {
+	var flushes []chan struct{}
+	count := 0
+	s := first
+	for {
+		if s.flush != nil {
+			flushes = append(flushes, s.flush)
+		} else {
+			*buf = wire.AppendIngestRecord(*buf, int64(s.job), s.values)
+			count++
+		}
+		if count >= f.n.cfg.ForwardBatch {
+			break
+		}
+		select {
+		case s = <-f.ch:
+			continue
+		default:
+		}
+		break
+	}
+	f.post(buf, count)
+	for _, done := range flushes {
+		close(done)
+	}
+}
+
+// drainRemaining posts everything still queued at shutdown and releases
+// any pending flush markers.
+func (f *forwarder) drainRemaining(buf *[]byte) {
+	count := 0
+	for {
+		select {
+		case s := <-f.ch:
+			if s.flush != nil {
+				close(s.flush)
+				continue
+			}
+			*buf = wire.AppendIngestRecord(*buf, int64(s.job), s.values)
+			count++
+			if count >= f.n.cfg.ForwardBatch {
+				f.post(buf, count)
+				count = 0
+			}
+		default:
+			f.post(buf, count)
+			return
+		}
+	}
+}
+
+// post ships one batch to the peer's /cluster/v1/ingest. A failed POST
+// loses exactly this batch's samples; the loss is counted in
+// forwardErrors and bounded by the batch cap.
+func (f *forwarder) post(buf *[]byte, count int) {
+	if len(*buf) == 0 {
+		return
+	}
+	body := *buf
+	*buf = (*buf)[:0]
+	resp, err := f.n.client.Post(f.n.peers[f.peer]+peerIngestPath, wire.IngestContentType, bytes.NewReader(body))
+	if err != nil {
+		f.n.forwardErrors.Add(uint64(count))
+		f.n.logf("cluster: forwarding %d samples to node %d: %v", count, f.peer, err)
+		return
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		f.n.forwardErrors.Add(uint64(count))
+		f.n.logf("cluster: forwarding %d samples to node %d: HTTP %d", count, f.peer, resp.StatusCode)
+	}
+}

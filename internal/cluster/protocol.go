@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/wire"
+)
+
+// Control protocol: the binary frames cluster nodes exchange for
+// membership (ping/ack), artifact replication, and the two-phase rolling
+// swap (prepare/commit/abort + ack). Frames ride POST bodies between
+// nodes; the layout reuses internal/wire's error-sticky primitives, so
+// the decoder inherits the same hostile-input posture as the artifact and
+// ingest codecs: every length prefix is bounds-checked before allocation,
+// a truncated or corrupted frame produces a descriptive error, never a
+// panic.
+//
+// Frame layout (little-endian):
+//
+//	magic    4 bytes  "WCCC"
+//	version  u8       protocol version (1)
+//	type     u8       message type (see MsgType)
+//	node     i64      sender node ID
+//	gen      u64      generation the message speaks about
+//	identity string   artifact CRC identity (u64-len prefixed)
+//	ok       bool     ack verdict (1 byte, 0 or 1)
+//	errmsg   string   ack failure reason ("" on success)
+//	artifact bytes    artifact payload (u64-len prefixed; replicate only)
+//
+// Every frame carries every field — the cost is a few bytes of zero-value
+// prefixes on small messages, and in exchange the decoder is a single
+// total function over all message types, which keeps the fuzz surface
+// one function wide.
+
+// protoMagic distinguishes control frames from everything else a port
+// scanner might throw at the endpoint.
+var protoMagic = [4]byte{'W', 'C', 'C', 'C'}
+
+// ProtoVersion is the control protocol version this build speaks.
+const ProtoVersion = 1
+
+// MaxFrameArtifactBytes caps the artifact payload one replicate frame may
+// carry; larger declared lengths are treated as corruption. Far above any
+// real .wcc (the smoke models are ~100 KiB) and far below anything that
+// could hurt the process.
+const MaxFrameArtifactBytes = 1 << 27
+
+// MsgType discriminates control frames.
+type MsgType uint8
+
+const (
+	// MsgPing is the heartbeat: sender's ID, generation and artifact
+	// identity, so liveness probes double as anti-entropy advertisements.
+	MsgPing MsgType = 1
+	// MsgPingAck answers a ping with the receiver's own state.
+	MsgPingAck MsgType = 2
+	// MsgReplicate pushes an artifact's raw bytes to a replica, which
+	// persists it and answers MsgAck with the identity it computed — the
+	// convergence check.
+	MsgReplicate MsgType = 3
+	// MsgPrepare asks a replica to stage the replicated artifact for the
+	// given generation: decode it, run the serving-compatibility gates,
+	// hold the model ready — and serve NOTHING new yet.
+	MsgPrepare MsgType = 4
+	// MsgCommit asks a replica to install its staged generation. Sent only
+	// after every node acked prepare, so no node ever serves a generation
+	// some peer cannot.
+	MsgCommit MsgType = 5
+	// MsgAbort drops a staged generation without installing it.
+	MsgAbort MsgType = 6
+	// MsgAck is the uniform response frame: OK or an error string, plus the
+	// responder's identity/generation where relevant.
+	MsgAck MsgType = 7
+)
+
+// String names the message type for diagnostics.
+func (t MsgType) String() string {
+	switch t {
+	case MsgPing:
+		return "ping"
+	case MsgPingAck:
+		return "ping-ack"
+	case MsgReplicate:
+		return "replicate"
+	case MsgPrepare:
+		return "prepare"
+	case MsgCommit:
+		return "commit"
+	case MsgAbort:
+		return "abort"
+	case MsgAck:
+		return "ack"
+	default:
+		return fmt.Sprintf("msgtype(%d)", uint8(t))
+	}
+}
+
+// Frame is one decoded control message. Unused fields are zero values.
+type Frame struct {
+	Type     MsgType
+	Node     int    // sender node ID
+	Gen      uint64 // generation the message speaks about
+	Identity string // artifact CRC identity
+	OK       bool   // ack verdict
+	Err      string // ack failure reason
+	Artifact []byte // replicate payload
+}
+
+// EncodeFrame serialises one control frame.
+func EncodeFrame(w io.Writer, f Frame) error {
+	if len(f.Artifact) > MaxFrameArtifactBytes {
+		return fmt.Errorf("cluster: %d-byte artifact exceeds the %d-byte frame cap", len(f.Artifact), MaxFrameArtifactBytes)
+	}
+	ww := wire.NewWriter(w)
+	for _, b := range protoMagic {
+		ww.U8(b)
+	}
+	ww.U8(ProtoVersion)
+	ww.U8(uint8(f.Type))
+	ww.Int(f.Node)
+	ww.U64(f.Gen)
+	ww.String(f.Identity)
+	ww.Bool(f.OK)
+	ww.String(f.Err)
+	ww.Bytes(f.Artifact)
+	return ww.Err()
+}
+
+// AppendFrame encodes the frame into a fresh byte slice — the form the
+// HTTP client posts.
+func AppendFrame(f Frame) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := EncodeFrame(&buf, f); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeFrame reads one control frame from hostile input. Errors are
+// descriptive and sticky (first failure wins); the function never panics
+// on truncation, wrong magic, or hostile length prefixes.
+func DecodeFrame(r io.Reader) (Frame, error) {
+	rr := wire.NewReader(r)
+	var magic [4]byte
+	for i := range magic {
+		magic[i] = rr.U8()
+	}
+	if err := rr.Err(); err != nil {
+		return Frame{}, fmt.Errorf("cluster: reading frame magic: %w", err)
+	}
+	if magic != protoMagic {
+		return Frame{}, fmt.Errorf("cluster: bad frame magic %q", magic[:])
+	}
+	version := rr.U8()
+	if err := rr.Err(); err == nil && version != ProtoVersion {
+		return Frame{}, fmt.Errorf("cluster: protocol version %d not supported (this build speaks %d)", version, ProtoVersion)
+	}
+	f := Frame{
+		Type:     MsgType(rr.U8()),
+		Node:     rr.Int(),
+		Gen:      rr.U64(),
+		Identity: rr.String(),
+		OK:       rr.Bool(),
+		Err:      rr.String(),
+	}
+	f.Artifact = rr.Bytes()
+	if err := rr.Err(); err != nil {
+		return Frame{}, fmt.Errorf("cluster: decoding %s frame: %w", f.Type, err)
+	}
+	if len(f.Artifact) > MaxFrameArtifactBytes {
+		return Frame{}, fmt.Errorf("cluster: %d-byte artifact exceeds the %d-byte frame cap", len(f.Artifact), MaxFrameArtifactBytes)
+	}
+	switch f.Type {
+	case MsgPing, MsgPingAck, MsgReplicate, MsgPrepare, MsgCommit, MsgAbort, MsgAck:
+	default:
+		return Frame{}, fmt.Errorf("cluster: unknown message type %d", uint8(f.Type))
+	}
+	if f.Node < 0 {
+		return Frame{}, errors.New("cluster: negative sender node ID")
+	}
+	return f, nil
+}

@@ -52,12 +52,21 @@ const (
 	// a shard's tick failing after successes, or recovering after a
 	// failure.
 	TypeShardHealth Type = "shard_health"
+	// TypeMembership fires when a cluster node's liveness view of a peer
+	// changes: a peer marked dead after missed heartbeats, or alive again
+	// after rejoining (see internal/cluster).
+	TypeMembership Type = "membership"
+	// TypeClusterSwap fires as a rolling fleet-wide swap advances through
+	// its phases — replicated, prepared, committed, aborted — on the
+	// orchestrating node. Per-node model installs still publish TypeSwap on
+	// each node's own bus; TypeClusterSwap narrates the cross-node protocol.
+	TypeClusterSwap Type = "cluster_swap"
 )
 
 // Types lists every event type the serving plane emits, in the order the
 // documentation presents them.
 func Types() []Type {
-	return []Type{TypePrediction, TypeUnknown, TypeDrift, TypeSwap, TypeShardHealth}
+	return []Type{TypePrediction, TypeUnknown, TypeDrift, TypeSwap, TypeShardHealth, TypeMembership, TypeClusterSwap}
 }
 
 // Event is one moment on the bus. Seq, Gen, Type and TimeUnixMS are always
@@ -94,10 +103,18 @@ type Event struct {
 	Model string `json:"model,omitempty"`
 
 	// Shard, Error and Healthy describe shard-health events; Error is empty
-	// on recovery.
+	// on recovery. Healthy doubles as the liveness verdict on membership
+	// events.
 	Shard   *int   `json:"shard,omitempty"`
 	Error   string `json:"error,omitempty"`
 	Healthy *bool  `json:"healthy,omitempty"`
+
+	// Node and Phase describe cluster events: Node is the peer a membership
+	// event speaks about (or the node a cluster-swap phase just covered),
+	// Phase is the rolling-swap phase reached ("replicated", "prepared",
+	// "committed", "aborted").
+	Node  *int   `json:"node,omitempty"`
+	Phase string `json:"phase,omitempty"`
 }
 
 // Sink accepts published events. *Bus implements it; emitters hold a Sink

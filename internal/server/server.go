@@ -821,9 +821,11 @@ func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// healthResponse is the liveness read; Window and Sensors tell a load
-// driver what sample shape the fleet expects.
-type healthResponse struct {
+// HealthResponse is the liveness read; Window and Sensors tell a load
+// driver what sample shape the fleet expects. The cluster layer
+// (internal/cluster) embeds it in its own /healthz payload, adding
+// membership and routing on top.
+type HealthResponse struct {
 	Status  string `json:"status"`
 	Jobs    int    `json:"jobs"`
 	Window  int    `json:"window"`
@@ -838,9 +840,12 @@ type healthResponse struct {
 	Classes []string `json:"classes,omitempty"`
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+// Health assembles the current liveness state — the payload GET /healthz
+// serves. Status "degraded" means some tick loop's most recent pass
+// failed; the matching HTTP code is 503.
+func (s *Server) Health() HealthResponse {
 	lastErr := s.lastTickErr()
-	resp := healthResponse{
+	resp := HealthResponse{
 		Status:        "ok",
 		Jobs:          s.m.NumJobs(),
 		Window:        s.m.Window(),
@@ -852,9 +857,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.sharded != nil {
 		resp.Shards = s.sharded.NumShards()
 	}
-	code := http.StatusOK
 	if lastErr != "" {
 		resp.Status = "degraded"
+	}
+	return resp
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := s.Health()
+	code := http.StatusOK
+	if resp.Status != "ok" {
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, resp)

@@ -353,7 +353,7 @@ func TestReadEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var hr healthResponse
+	var hr HealthResponse
 	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
 		t.Fatal(err)
 	}

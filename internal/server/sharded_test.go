@@ -170,7 +170,7 @@ func TestShardedMetricsAndHealth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var h healthResponse
+	var h HealthResponse
 	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
 		t.Fatal(err)
 	}

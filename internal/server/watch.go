@@ -3,7 +3,6 @@ package server
 import (
 	"errors"
 	"fmt"
-	"strings"
 	"time"
 
 	"repro/internal/artifact"
@@ -30,6 +29,12 @@ type WatchConfig struct {
 	Scaler  *preprocess.StandardScaler
 	// OnSwap, when non-nil, is called after each successful swap.
 	OnSwap func(meta artifact.Metadata)
+	// Distribute, when non-nil, replaces the local swap with a fleet-wide
+	// one: each detected content change is handed to it (the cluster
+	// control plane's rolling-swap orchestration — see internal/cluster)
+	// instead of being installed on this process's monitor alone. OnSwap
+	// still fires after Distribute succeeds.
+	Distribute func(path string) (artifact.Metadata, error)
 	// Logf, when non-nil, receives skipped-reload diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -66,7 +71,11 @@ func Watch(stop <-chan struct{}, cfg WatchConfig) {
 				continue
 			}
 			last = ident
-			meta, err := swapFromPath(cfg)
+			swap := swapFromPath
+			if cfg.Distribute != nil {
+				swap = func(cfg WatchConfig) (artifact.Metadata, error) { return cfg.Distribute(cfg.Path) }
+			}
+			meta, err := swap(cfg)
 			if err != nil {
 				logf("model reload skipped: %v", err)
 				continue
@@ -81,18 +90,40 @@ func Watch(stop <-chan struct{}, cfg WatchConfig) {
 // artifactIdentity fingerprints an artifact by its container contents —
 // format version plus every section's name, length and CRC32 — so two
 // files with identical stat signatures but different payloads still
-// compare as different.
+// compare as different. The fingerprint itself lives in the artifact
+// package because the cluster control plane uses the same identity as its
+// replication-convergence check.
 func artifactIdentity(path string) (string, error) {
-	info, err := artifact.ReadInfo(path)
-	if err != nil {
-		return "", err
+	return artifact.Identity(path)
+}
+
+// ServableModel validates that a decoded artifact can serve a live fleet
+// of the given shape and returns its classifier. The gates exist because
+// per-job window state survives a swap: the replacement must consume the
+// same window shape and the exact scaler statistics the fleet's embedders
+// were built with. The watcher runs these gates before every hot-swap;
+// the cluster control plane (internal/cluster) runs the same gates on
+// every node during a rolling swap's prepare phase, so an incompatible
+// artifact is refused fleet-wide before any node commits.
+func ServableModel(a *artifact.Artifact, window, sensors int, scaler *preprocess.StandardScaler) (stream.Classifier, error) {
+	if a.Meta.Features != "cov" {
+		return nil, fmt.Errorf("artifact has %q features; live serving needs a covariance-feature model", a.Meta.Features)
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "v%d", info.FormatVersion)
-	for _, sec := range info.Sections {
-		fmt.Fprintf(&b, "|%s:%d:%08x", sec.Name, sec.Length, sec.CRC)
+	cls, ok := a.Model.(stream.Classifier)
+	if !ok {
+		return nil, fmt.Errorf("%s models cannot serve streaming windows", a.Meta.Kind)
 	}
-	return b.String(), nil
+	if a.Meta.Window != window || a.Meta.Sensors != sensors {
+		return nil, fmt.Errorf("window shape %dx%d differs from serving %dx%d",
+			a.Meta.Window, a.Meta.Sensors, window, sensors)
+	}
+	if a.Scaler == nil {
+		return nil, errors.New("artifact carries no scaler")
+	}
+	if !a.Scaler.Equal(scaler) {
+		return nil, errors.New("scaler statistics differ from the serving scaler")
+	}
+	return cls, nil
 }
 
 // swapFromPath loads the artifact and, when it is compatible with the
@@ -102,22 +133,9 @@ func swapFromPath(cfg WatchConfig) (artifact.Metadata, error) {
 	if err != nil {
 		return artifact.Metadata{}, err
 	}
-	if a.Meta.Features != "cov" {
-		return artifact.Metadata{}, fmt.Errorf("artifact has %q features; live serving needs a covariance-feature model", a.Meta.Features)
-	}
-	cls, ok := a.Model.(stream.Classifier)
-	if !ok {
-		return artifact.Metadata{}, fmt.Errorf("%s models cannot serve streaming windows", a.Meta.Kind)
-	}
-	if a.Meta.Window != cfg.Window || a.Meta.Sensors != cfg.Sensors {
-		return artifact.Metadata{}, fmt.Errorf("window shape %dx%d differs from serving %dx%d",
-			a.Meta.Window, a.Meta.Sensors, cfg.Window, cfg.Sensors)
-	}
-	if a.Scaler == nil {
-		return artifact.Metadata{}, errors.New("artifact carries no scaler")
-	}
-	if !a.Scaler.Equal(cfg.Scaler) {
-		return artifact.Metadata{}, errors.New("scaler statistics differ from the serving scaler")
+	cls, err := ServableModel(a, cfg.Window, cfg.Sensors, cfg.Scaler)
+	if err != nil {
+		return artifact.Metadata{}, err
 	}
 	// The replacement model brings its own drift calibration (or none):
 	// swapping both together keeps open-set verdicts coherent — thresholds

@@ -138,14 +138,21 @@ func (c *Core) NumShards() int { return len(c.monitors) }
 // stable function of the job ID and the shard count only — the same job
 // always lands on the same shard for the life of the Core.
 func (c *Core) ShardOf(jobID int) int {
-	// splitmix64 finalizer: adjacent IDs spread uniformly across shards.
+	return int(JobHash(jobID) % uint64(len(c.monitors)))
+}
+
+// JobHash is the stable job-routing hash — the splitmix64 finalizer, so
+// adjacent IDs spread uniformly. It is shared by the in-process shard
+// router and the cluster's node router (internal/cluster): both layers
+// partition the same keyspace, one hash, two moduli.
+func JobHash(jobID int) uint64 {
 	h := uint64(jobID)
 	h ^= h >> 30
 	h *= 0xbf58476d1ce4e5b9
 	h ^= h >> 27
 	h *= 0x94d049bb133111eb
 	h ^= h >> 31
-	return int(h % uint64(len(c.monitors)))
+	return h
 }
 
 // Ingest feeds one telemetry sample for the given job to the job's shard,

@@ -93,6 +93,12 @@ func (w *Writer) String(s string) {
 	w.write([]byte(s))
 }
 
+// Bytes writes a length-prefixed byte slice.
+func (w *Writer) Bytes(p []byte) {
+	w.U64(uint64(len(p)))
+	w.write(p)
+}
+
 // F64s writes a length-prefixed float64 slice.
 func (w *Writer) F64s(vs []float64) {
 	w.U64(uint64(len(vs)))
@@ -240,6 +246,21 @@ func (r *Reader) String() string {
 		return ""
 	}
 	return string(buf)
+}
+
+// Bytes reads a length-prefixed byte slice. The same sanity cap as every
+// other length prefix applies, so a hostile prefix cannot provoke a
+// multi-gigabyte allocation.
+func (r *Reader) Bytes() []byte {
+	n := r.sliceLen("byte slice")
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	buf := make([]byte, n)
+	if !r.read(buf) {
+		return nil
+	}
+	return buf
 }
 
 // F64s reads a length-prefixed float64 slice.
