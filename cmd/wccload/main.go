@@ -74,13 +74,14 @@ func main() {
 	unknownFrac := flag.Float64("unknown-frac", 0, "fraction of fleet jobs driven from out-of-distribution workload profiles; their rejection recall/precision is scored against the server's unknown verdicts")
 	events := flag.Bool("events", false, "subscribe to GET /v1/events for the duration of the run and report delivered event counts by type")
 	clusterURLs := flag.String("cluster", "", "comma-separated base URLs of a wccserve -cluster fleet; each job's batches go to its owning node (client-side hash), and a failing node reroutes to the next instead of aborting the run")
+	adaptReport := flag.Bool("adapt", false, "read GET /v1/adapt after the run and report the continual-learning flywheel's state")
 	flag.Parse()
 
 	if err := run(config{
 		addr: *addr, jobs: *jobs, scale: *scale, seed: *seed,
 		start: *start, seconds: *seconds, batch: *batch, conns: *conns,
 		unknownFrac: *unknownFrac, framing: *framing, events: *events,
-		cluster: *clusterURLs,
+		cluster: *clusterURLs, adapt: *adaptReport,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "wccload:", err)
 		os.Exit(1)
@@ -99,6 +100,7 @@ type config struct {
 	framing        string
 	events         bool
 	cluster        string
+	adapt          bool
 }
 
 // health mirrors the server's /healthz payload.
@@ -410,6 +412,22 @@ func run(c config) error {
 	case mix.UnknownJobs > 0:
 		fmt.Printf("  note: %d out-of-distribution jobs injected but the server reports no drift calibration\n", mix.UnknownJobs)
 	}
+	if c.adapt {
+		as, err := fetchAdapt(client, nodes[0])
+		if err != nil {
+			return fmt.Errorf("reading /v1/adapt: %w", err)
+		}
+		if !as.Enabled {
+			fmt.Printf("  adapt flywheel:    disabled on the server (wccserve -adapt)\n")
+		} else {
+			fmt.Printf("  adapt flywheel:    phase %s, %d/%d rejected windows buffered, %d families, gate ready %v, %d promotions\n",
+				as.Phase, as.Buffered, as.BufferCapacity, len(as.Families), as.GateReady, as.Promotions)
+			if as.Shadow != nil {
+				fmt.Printf("  adapt shadow:      %d windows, agreement %.3f, unknown rate serving %.3f vs candidate %.3f\n",
+					as.Shadow.Windows, as.Shadow.Agreement, as.Shadow.ServingUnknownRate, as.Shadow.CandidateUnknownRate)
+			}
+		}
+	}
 	if ev != nil {
 		counts, evicted, readErr := ev.stop()
 		total := 0
@@ -503,6 +521,42 @@ func (w *eventWatch) stop() ([]typeCount, bool, error) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].typ < out[j].typ })
 	return out, w.evicted, w.readErr
+}
+
+// adaptState mirrors the fields of GET /v1/adapt the report reads.
+type adaptState struct {
+	Enabled        bool   `json:"enabled"`
+	Phase          string `json:"phase"`
+	Buffered       int    `json:"buffered"`
+	BufferCapacity int    `json:"buffer_capacity"`
+	Families       []struct {
+		ID    int `json:"id"`
+		Count int `json:"count"`
+	} `json:"families"`
+	GateReady  bool   `json:"gate_ready"`
+	Promotions uint64 `json:"promotions_total"`
+	Shadow     *struct {
+		Windows              uint64  `json:"windows"`
+		Agreement            float64 `json:"agreement"`
+		ServingUnknownRate   float64 `json:"serving_unknown_rate"`
+		CandidateUnknownRate float64 `json:"candidate_unknown_rate"`
+	} `json:"shadow"`
+}
+
+func fetchAdapt(client *http.Client, addr string) (*adaptState, error) {
+	resp, err := client.Get(addr + "/v1/adapt")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("adapt status %d", resp.StatusCode)
+	}
+	var a adaptState
+	if err := json.NewDecoder(resp.Body).Decode(&a); err != nil {
+		return nil, err
+	}
+	return &a, nil
 }
 
 func fetchDrift(client *http.Client, addr string) (*driftState, error) {

@@ -66,9 +66,11 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/adapt"
 	"repro/internal/artifact"
 	"repro/internal/cluster"
 	"repro/internal/drift"
+	"repro/internal/events"
 	"repro/internal/server"
 	"repro/internal/shard"
 	"repro/internal/telemetry"
@@ -93,6 +95,15 @@ func main() {
 	clusterURLs := flag.String("cluster", "", "with -listen and -model: comma-separated base URLs of every cluster node in ID order; this process becomes node -node of that fleet")
 	clusterNode := flag.Int("node", 0, "with -cluster: this process's node ID (index into the -cluster list)")
 	clusterDir := flag.String("cluster-dir", "", "with -cluster: directory for replicated .wcc artifacts (default: a per-node dir under the OS temp dir)")
+	adaptOn := flag.Bool("adapt", false, "with -listen and -model: run the continual-learning flywheel — buffer rejected windows, cluster candidate families, shadow-score a retrained candidate, promote through the hot-swap path (see /v1/adapt)")
+	adaptMinSupport := flag.Int("adapt-min-support", 30, "with -adapt: rejected windows a cluster needs before it becomes a candidate class")
+	adaptRadius := flag.Float64("adapt-radius", 0, "with -adapt: leader-clustering radius in standardised feature space (0 = the calibration's feature-gate cut point; raise it when rejected traffic spans several loose archetypes that should fold into one family)")
+	adaptAuto := flag.Bool("adapt-auto-promote", false, "with -adapt: promote automatically when the shadow candidate passes the quality gate")
+	adaptEvery := flag.Duration("adapt-every", 5*time.Second, "with -adapt: flywheel cadence (cluster/train/gate checks)")
+	adaptShadowMin := flag.Int("adapt-shadow-min", 200, "with -adapt: live windows the candidate must shadow-score before the quality gate opens")
+	adaptTrees := flag.Int("adapt-trees", 50, "with -adapt: candidate forest size")
+	adaptMaxTrain := flag.Int("adapt-max-train", 400, "with -adapt: cap on regenerated base training windows for candidate retraining (0 = all; match the artifact's original training run)")
+	adaptMaxTest := flag.Int("adapt-max-test", 150, "with -adapt: cap on regenerated base test windows (0 = all)")
 	flag.Parse()
 
 	if err := run(config{
@@ -101,6 +112,9 @@ func main() {
 		tick: *tick, model: *model, modelPoll: *modelPoll,
 		listen: *listen, debugAddr: *debugAddr, evictAfter: *evictAfter, unknownFrac: *unknownFrac,
 		cluster: *clusterURLs, node: *clusterNode, clusterDir: *clusterDir,
+		adapt: *adaptOn, adaptMinSupport: *adaptMinSupport, adaptRadius: *adaptRadius, adaptAuto: *adaptAuto,
+		adaptEvery: *adaptEvery, adaptShadowMin: *adaptShadowMin, adaptTrees: *adaptTrees,
+		adaptMaxTrain: *adaptMaxTrain, adaptMaxTest: *adaptMaxTest,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "wccserve:", err)
 		os.Exit(1)
@@ -125,6 +139,16 @@ type config struct {
 	cluster        string
 	node           int
 	clusterDir     string
+
+	adapt           bool
+	adaptMinSupport int
+	adaptRadius     float64
+	adaptAuto       bool
+	adaptEvery      time.Duration
+	adaptShadowMin  int
+	adaptTrees      int
+	adaptMaxTrain   int
+	adaptMaxTest    int
 }
 
 // acquireModel produces the sharded serving core plus the simulator and
@@ -251,6 +275,61 @@ func serveHTTP(c config) error {
 		names = lm.Artifact.Meta.ClassNames
 	}
 
+	// One shared event bus: the fleet publishes prediction/unknown/swap
+	// events into it, the adapt flywheel adds lifecycle events, and the
+	// server streams it on /v1/events.
+	bus := events.NewBus()
+
+	// Continual-learning flywheel: rejected windows buffer into a reservoir,
+	// cluster into candidate families, retrain against the artifact's
+	// recorded provenance, shadow-score against live traffic, and promote by
+	// writing the candidate to the watched model path — the watcher (or, in
+	// cluster mode, fleet-wide distribution) then performs the actual swap,
+	// so promotion and a manual `cp new.wcc model.wcc` take the same path.
+	var mgr *adapt.Manager
+	if c.adapt {
+		if lm == nil {
+			return fmt.Errorf("-adapt needs -model: candidate retraining uses the artifact's provenance")
+		}
+		if lm.Artifact.Drift == nil {
+			return fmt.Errorf("-adapt needs a drift calibration in the artifact (train with wcctrain -drift): without open-set rejection nothing feeds the buffer")
+		}
+		if c.modelPoll <= 0 {
+			return fmt.Errorf("-adapt needs -model-poll > 0: promotion installs candidates through the artifact watcher")
+		}
+		logf := func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "wccserve: "+format+"\n", args...)
+		}
+		mgr, err = adapt.New(adapt.Config{
+			FeatureDim:       adapt.FeatureDimFor(sensors),
+			MinSupport:       c.adaptMinSupport,
+			Radius:           c.adaptRadius,
+			Calibration:      lm.Artifact.Drift,
+			ShadowMinWindows: c.adaptShadowMin,
+			AutoPromote:      c.adaptAuto,
+			Seed:             c.seed,
+			Logf:             logf,
+			Trainer: &adapt.ProvenanceTrainer{
+				Meta:     lm.Artifact.Meta,
+				Scaler:   lm.Artifact.Scaler,
+				MaxTrain: c.adaptMaxTrain,
+				MaxTest:  c.adaptMaxTest,
+				Trees:    c.adaptTrees,
+				Logf:     logf,
+			},
+			Events: bus,
+			Promote: func(a *artifact.Artifact) error {
+				return artifact.Save(c.model, a)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		monitor.SetAdaptObserver(mgr)
+		fmt.Printf("adapt flywheel on: min-support %d, shadow-min %d, auto-promote %v (drive via /v1/adapt)\n",
+			c.adaptMinSupport, c.adaptShadowMin, c.adaptAuto)
+	}
+
 	serveMonitor := server.Monitor(monitor)
 	if node != nil {
 		serveMonitor = node.Monitor()
@@ -261,6 +340,8 @@ func serveHTTP(c config) error {
 		TickEvery:  c.tick,
 		Workers:    c.workers,
 		EvictAfter: c.evictAfter,
+		Events:     bus,
+		Adapt:      mgr,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "wccserve: "+format+"\n", args...)
 		},
@@ -278,12 +359,34 @@ func serveHTTP(c config) error {
 			// of swapping only this one.
 			wc.Distribute = node.DistributeFile
 		}
+		// A promoted adapt candidate widens the class set; prediction
+		// responses must name the novel classes as soon as the swap lands.
+		inner := wc.OnSwap
+		wc.OnSwap = func(meta artifact.Metadata) {
+			if len(meta.ClassNames) > 0 {
+				srv.SetClassNames(meta.ClassNames)
+			}
+			if inner != nil {
+				inner(meta)
+			}
+		}
 		go func() {
 			defer close(watchDone)
 			server.Watch(stopWatch, wc)
 		}()
 	} else {
 		close(watchDone)
+	}
+
+	stopAdapt := make(chan struct{})
+	adaptDone := make(chan struct{})
+	if mgr != nil {
+		go func() {
+			defer close(adaptDone)
+			mgr.Run(stopAdapt, c.adaptEvery)
+		}()
+	} else {
+		close(adaptDone)
 	}
 
 	// Optional pprof sidecar: its own mux on its own listener, so profiling
@@ -349,6 +452,8 @@ func serveHTTP(c config) error {
 			fmt.Fprintf(os.Stderr, "wccserve: debug shutdown: %v\n", err)
 		}
 	}
+	close(stopAdapt)
+	<-adaptDone
 	close(stopWatch)
 	<-watchDone
 	if node != nil {

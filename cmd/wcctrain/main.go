@@ -23,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -63,8 +64,19 @@ func main() {
 		hidden = flag.Int("hidden", 32, "LSTM hidden size")
 		epochs = flag.Int("epochs", 10, "training epochs")
 		stride = flag.Int("stride", 10, "sequence downsampling stride")
+
+		families = flag.String("families", "", "offline continual learning: JSON family bundle from GET /v1/adapt/families; widens -base with one class per family and writes the candidate to -o")
+		baseArt  = flag.String("base", "", "with -families: the serving .wcc artifact the candidate extends (provenance and scaler source)")
 	)
 	flag.Parse()
+
+	if *families != "" {
+		if err := runFamilies(*families, *baseArt, *out, *maxTrain, *maxTest, *trees, *driftQ, *driftFeatQ); err != nil {
+			fmt.Fprintln(os.Stderr, "wcctrain:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if err := run(opts{
 		model: *model, features: *features, dsName: *dsName, scale: *scale,
@@ -77,6 +89,61 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wcctrain:", err)
 		os.Exit(1)
 	}
+}
+
+// runFamilies is the offline half of the continual-learning flywheel: it
+// rebuilds exactly the candidate the in-process flywheel would, from a
+// family bundle exported on GET /v1/adapt/families — same provenance
+// regeneration, same serving scaler reused verbatim, same
+// adapt.BuildCandidateArtifact. The result drops onto the watched model
+// path (or cluster distribution) like any other artifact.
+func runFamilies(famPath, basePath, out string, maxTrain, maxTest, trees int, driftQ, driftFeatQ float64) error {
+	if basePath == "" {
+		return fmt.Errorf("-families needs -base: the serving artifact the candidate extends")
+	}
+	if out == "" {
+		return fmt.Errorf("-families needs -o: where to write the candidate artifact")
+	}
+	f, err := os.Open(famPath)
+	if err != nil {
+		return err
+	}
+	fams, err := adapt.DecodeFamilies(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if len(fams) == 0 {
+		return fmt.Errorf("family bundle %s holds no families", famPath)
+	}
+	base, err := artifact.Load(basePath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("widening %d-class %s base with %d famil(ies) from %s\n",
+		len(base.Meta.ClassNames), base.Meta.Kind, len(fams), famPath)
+	trainer := &adapt.ProvenanceTrainer{
+		Meta:         base.Meta,
+		Scaler:       base.Scaler,
+		MaxTrain:     maxTrain,
+		MaxTest:      maxTest,
+		Trees:        trees,
+		Quantile:     driftQ,
+		FeatQuantile: driftFeatQ,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	cand, err := trainer.Train(fams)
+	if err != nil {
+		return err
+	}
+	if err := artifact.Save(out, cand); err != nil {
+		return err
+	}
+	fmt.Printf("saved %d-class candidate (%d novel, base accuracy %.2f%%) to %s\n",
+		len(cand.Meta.ClassNames), cand.Meta.NovelClasses, cand.Meta.Accuracy*100, out)
+	return nil
 }
 
 type opts struct {

@@ -1,0 +1,128 @@
+package adapt
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/drift"
+	"repro/internal/mat"
+)
+
+// Family is one candidate new-workload class: a cluster of rejected-window
+// feature rows dense enough to pass the min-support gate. Rows are in the
+// serving scaler's feature space — the exact rows the serving model scored
+// and rejected — so a trainer can append them to a regenerated training set
+// without any re-embedding.
+type Family struct {
+	// ID indexes the family within one clustering pass, in decreasing
+	// support order; a promoted candidate maps family i to class
+	// numBaseClasses+i.
+	ID int
+	// Count is the family's support (number of member rows).
+	Count int
+	// Centroid is the mean member row (unnormalised feature space).
+	Centroid []float64
+	// Rows holds the member feature rows, one per row.
+	Rows *mat.Matrix
+}
+
+// leader is one in-progress cluster during the single pass: a running mean
+// in normalised space plus its member indices.
+type leader struct {
+	center  []float64
+	members []int
+}
+
+// Cluster groups rejected-window feature rows into candidate families by
+// leader clustering: each row joins the nearest existing leader within
+// radius (normalised Euclidean distance) or founds a new one, and leaders
+// with fewer than minSupport members are discarded — noise and stragglers
+// never become a class. At most maxFamilies survive, largest first.
+//
+// norm, when non-nil, standardises rows dimension-wise before distances are
+// taken (covariance features span wildly different scales); the serving
+// calibration's FeatureStats is the natural choice, making radius
+// commensurable with the calibration's feature-distance threshold. One pass,
+// deterministic in the row order.
+func Cluster(rows [][]float64, norm *drift.FeatureStats, radius float64, minSupport, maxFamilies int) []Family {
+	if len(rows) == 0 || radius <= 0 {
+		return nil
+	}
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	dim := len(rows[0])
+	normalise := func(row []float64) []float64 {
+		z := make([]float64, dim)
+		for j, v := range row {
+			if norm != nil && norm.Stds[j] > 0 {
+				z[j] = (v - norm.Means[j]) / norm.Stds[j]
+			} else {
+				z[j] = v
+			}
+		}
+		return z
+	}
+
+	var leaders []*leader
+	for i, row := range rows {
+		if len(row) != dim {
+			continue // defensive: a torn row cannot join any cluster
+		}
+		z := normalise(row)
+		best, bestDist := -1, math.Inf(1)
+		for li, l := range leaders {
+			if d := euclid(z, l.center); d < bestDist {
+				best, bestDist = li, d
+			}
+		}
+		if best >= 0 && bestDist <= radius {
+			l := leaders[best]
+			l.members = append(l.members, i)
+			// Running mean keeps the leader centred on its members, so an
+			// early outlier founder does not anchor the cluster off-centre.
+			n := float64(len(l.members))
+			for j := range l.center {
+				l.center[j] += (z[j] - l.center[j]) / n
+			}
+		} else {
+			leaders = append(leaders, &leader{center: z, members: []int{i}})
+		}
+	}
+
+	sort.SliceStable(leaders, func(a, b int) bool {
+		return len(leaders[a].members) > len(leaders[b].members)
+	})
+	var fams []Family
+	for _, l := range leaders {
+		if len(l.members) < minSupport {
+			break // sorted by support: everything after is sparser
+		}
+		if maxFamilies > 0 && len(fams) == maxFamilies {
+			break
+		}
+		f := Family{ID: len(fams), Count: len(l.members), Centroid: make([]float64, dim)}
+		f.Rows = mat.New(len(l.members), dim)
+		for r, idx := range l.members {
+			copy(f.Rows.Data[r*dim:(r+1)*dim], rows[idx])
+			for j, v := range rows[idx] {
+				f.Centroid[j] += v
+			}
+		}
+		for j := range f.Centroid {
+			f.Centroid[j] /= float64(f.Count)
+		}
+		fams = append(fams, f)
+	}
+	return fams
+}
+
+// euclid is the plain Euclidean distance between equal-length vectors.
+func euclid(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,107 @@
+package adapt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/drift"
+)
+
+// blob draws n rows around a center with the given spread.
+func blob(rng *rand.Rand, n int, center []float64, spread float64) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		r := make([]float64, len(center))
+		for j, c := range center {
+			r[j] = c + rng.NormFloat64()*spread
+		}
+		out[i] = r
+	}
+	return out
+}
+
+func TestClusterSeparatesDenseBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var rows [][]float64
+	rows = append(rows, blob(rng, 60, []float64{0, 0, 0}, 0.3)...)
+	rows = append(rows, blob(rng, 40, []float64{10, 10, 10}, 0.3)...)
+	// Stragglers too sparse to become a class.
+	rows = append(rows, blob(rng, 3, []float64{-50, 40, 5}, 0.3)...)
+
+	fams := Cluster(rows, nil, 3, 10, 0)
+	if len(fams) != 2 {
+		t.Fatalf("got %d families, want 2 (the stragglers must not become a class)", len(fams))
+	}
+	if fams[0].Count < fams[1].Count {
+		t.Fatalf("families not sorted by support: %d then %d", fams[0].Count, fams[1].Count)
+	}
+	if fams[0].Count != 60 || fams[1].Count != 40 {
+		t.Fatalf("supports %d/%d, want 60/40", fams[0].Count, fams[1].Count)
+	}
+	if fams[0].ID != 0 || fams[1].ID != 1 {
+		t.Fatalf("IDs %d/%d, want 0/1", fams[0].ID, fams[1].ID)
+	}
+	// Centroids land on the blob centers, in the original feature space.
+	if c := fams[0].Centroid[0]; c < -1 || c > 1 {
+		t.Fatalf("dense family centroid[0] = %v, want ≈0", c)
+	}
+	if c := fams[1].Centroid[0]; c < 9 || c > 11 {
+		t.Fatalf("second family centroid[0] = %v, want ≈10", c)
+	}
+	if fams[0].Rows.Rows != 60 || fams[0].Rows.Cols != 3 {
+		t.Fatalf("family rows %dx%d, want 60x3", fams[0].Rows.Rows, fams[0].Rows.Cols)
+	}
+}
+
+func TestClusterMaxFamiliesCapsLargestFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var rows [][]float64
+	rows = append(rows, blob(rng, 50, []float64{0, 0}, 0.2)...)
+	rows = append(rows, blob(rng, 30, []float64{20, 0}, 0.2)...)
+	rows = append(rows, blob(rng, 20, []float64{0, 20}, 0.2)...)
+
+	fams := Cluster(rows, nil, 3, 5, 2)
+	if len(fams) != 2 {
+		t.Fatalf("got %d families, want the cap of 2", len(fams))
+	}
+	if fams[0].Count != 50 || fams[1].Count != 30 {
+		t.Fatalf("cap kept supports %d/%d, want the two largest 50/30", fams[0].Count, fams[1].Count)
+	}
+}
+
+func TestClusterNormalisationMakesRadiusCommensurable(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	// Two blobs separated only along a huge-scale dimension: unnormalised,
+	// radius 3 sees two distant groups; normalised by the dimension's std,
+	// the same radius merges them.
+	var rows [][]float64
+	rows = append(rows, blob(rng, 30, []float64{0, 0}, 0.1)...)
+	rows = append(rows, blob(rng, 30, []float64{1000, 0}, 0.1)...)
+
+	if fams := Cluster(rows, nil, 3, 10, 0); len(fams) != 2 {
+		t.Fatalf("unnormalised: got %d families, want 2", len(fams))
+	}
+	norm := &drift.FeatureStats{Means: []float64{500, 0}, Stds: []float64{1000, 1}}
+	if fams := Cluster(rows, norm, 3, 10, 0); len(fams) != 1 {
+		t.Fatalf("normalised: got %d families, want 1 (separation shrinks to 1 std)", len(fams))
+	}
+}
+
+func TestClusterDegenerateInputs(t *testing.T) {
+	if fams := Cluster(nil, nil, 3, 10, 0); fams != nil {
+		t.Fatalf("nil rows clustered into %d families", len(fams))
+	}
+	if fams := Cluster([][]float64{{1, 2}}, nil, 0, 1, 0); fams != nil {
+		t.Fatalf("zero radius clustered into %d families", len(fams))
+	}
+	// A single row with minSupport 1 is a legitimate (tiny) family.
+	fams := Cluster([][]float64{{1, 2}}, nil, 3, 1, 0)
+	if len(fams) != 1 || fams[0].Count != 1 {
+		t.Fatalf("single row: got %+v, want one 1-row family", fams)
+	}
+	// Torn rows (wrong width) are skipped, not clustered and not fatal.
+	fams = Cluster([][]float64{{1, 2}, {1}, {1.1, 2.1}}, nil, 3, 2, 0)
+	if len(fams) != 1 || fams[0].Count != 2 {
+		t.Fatalf("torn row handling: got %+v, want one 2-row family", fams)
+	}
+}

@@ -1,0 +1,85 @@
+package adapt
+
+import "testing"
+
+func row(vals ...float64) []float64 { return vals }
+
+func TestReservoirKeepsEverythingUnderCapacity(t *testing.T) {
+	r := newReservoir(8, 1)
+	for i := 0; i < 5; i++ {
+		r.offer(row(float64(i), float64(i)))
+	}
+	if len(r.rows) != 5 || r.seen != 5 || r.dropped != 0 {
+		t.Fatalf("got %d rows, seen %d, dropped %d; want 5, 5, 0", len(r.rows), r.seen, r.dropped)
+	}
+	snap := r.snapshot()
+	if len(snap) != 5 {
+		t.Fatalf("snapshot has %d rows, want 5", len(snap))
+	}
+	// Snapshot rows are copies: mutating one must not reach the reservoir.
+	snap[0][0] = 999
+	if r.rows[0][0] == 999 {
+		t.Fatal("snapshot aliases reservoir storage")
+	}
+}
+
+func TestReservoirCopiesOfferedRows(t *testing.T) {
+	r := newReservoir(4, 1)
+	borrowed := row(1, 2)
+	r.offer(borrowed)
+	borrowed[0] = -7 // the tick path reuses its batch row immediately
+	if r.rows[0][0] != 1 {
+		t.Fatal("reservoir retained a borrowed row without copying")
+	}
+}
+
+func TestReservoirSamplesPastCapacity(t *testing.T) {
+	const capacity, offered = 64, 4096
+	r := newReservoir(capacity, 7)
+	for i := 0; i < offered; i++ {
+		r.offer(row(float64(i)))
+	}
+	if len(r.rows) != capacity {
+		t.Fatalf("retained %d rows, want the capacity %d", len(r.rows), capacity)
+	}
+	if r.seen != offered {
+		t.Fatalf("seen %d, want %d", r.seen, offered)
+	}
+	if r.dropped != offered-capacity {
+		t.Fatalf("dropped %d, want %d", r.dropped, offered-capacity)
+	}
+	// Uniform sampling must not privilege early traffic: the retained mean
+	// index should be near the middle of the offered range, far above the
+	// first-64-wins mean of 31.5.
+	var sum float64
+	for _, rr := range r.rows {
+		sum += rr[0]
+	}
+	mean := sum / capacity
+	if mean < offered/4 || mean > 3*offered/4 {
+		t.Fatalf("retained-sample mean index %.0f suggests biased sampling over [0,%d)", mean, offered)
+	}
+}
+
+func TestReservoirResetClearsSampleKeepsDropCounter(t *testing.T) {
+	r := newReservoir(2, 1)
+	for i := 0; i < 10; i++ {
+		r.offer(row(float64(i)))
+	}
+	droppedBefore := r.dropped
+	if droppedBefore == 0 {
+		t.Fatal("expected drops past capacity")
+	}
+	r.reset()
+	if len(r.rows) != 0 || r.seen != 0 {
+		t.Fatalf("reset left %d rows, seen %d", len(r.rows), r.seen)
+	}
+	if r.dropped != droppedBefore {
+		t.Fatalf("reset rewound the cumulative drop counter: %d -> %d", droppedBefore, r.dropped)
+	}
+	// The reservoir keeps working after a reset.
+	r.offer(row(42))
+	if len(r.rows) != 1 || r.rows[0][0] != 42 {
+		t.Fatal("reservoir unusable after reset")
+	}
+}

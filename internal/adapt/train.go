@@ -1,0 +1,327 @@
+package adapt
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/drift"
+	"repro/internal/forest"
+	"repro/internal/mat"
+	"repro/internal/preprocess"
+	"repro/internal/telemetry"
+)
+
+// Trainer turns clustered families into a candidate artifact: a model
+// covering the base classes plus one new class per family, with scaler
+// statistics byte-identical to the serving fleet's and a drift calibration
+// refreshed over the widened class set. Implementations may be slow (the
+// provenance trainer regenerates the training set); the Manager never calls
+// Train on the tick path.
+type Trainer interface {
+	Train(families []Family) (*artifact.Artifact, error)
+}
+
+// CandidateOptions parameterises BuildCandidateArtifact.
+type CandidateOptions struct {
+	// BaseMeta is the serving artifact's metadata; the candidate inherits
+	// its provenance fields and appends novel class names to its
+	// ClassNames. len(ClassNames), when non-zero, fixes the base class
+	// count.
+	BaseMeta artifact.Metadata
+	// Trees sizes the candidate forest (default 50).
+	Trees int
+	// Seed seeds the forest fit (default BaseMeta.Seed).
+	Seed int64
+	// Quantile and FeatQuantile configure the refreshed drift calibration
+	// (package drift defaults when zero).
+	Quantile     float64
+	FeatQuantile float64
+	// Tool names the producer in the candidate's metadata (default
+	// "adapt").
+	Tool string
+}
+
+// heldOutEvery reserves every n-th family row for calibration instead of
+// training, so the refreshed threshold sees held-out novel-class scores the
+// model did not memorise.
+const heldOutEvery = 4
+
+// BuildCandidateArtifact trains a candidate model over the base feature
+// pair widened with one new class per family, and calibrates a fresh drift
+// section over the widened class set. fp must be built against the serving
+// scaler (core.CovFeaturesWith) — the candidate reuses it verbatim, which
+// is what lets the hot-swap compatibility gate accept the artifact — and
+// family rows must be in the same feature space, which they are by
+// construction (they came from the serving embedders). raw holds raw
+// telemetry samples for the PSI reference, typically the regenerated
+// training windows.
+//
+// Both the in-process flywheel (ProvenanceTrainer) and the offline
+// `wcctrain -families` path build candidates through here, so the two
+// produce identical artifacts from identical inputs.
+func BuildCandidateArtifact(fp *core.FeaturePair, raw *mat.Matrix, fams []Family, o CandidateOptions) (*artifact.Artifact, error) {
+	if len(fams) == 0 {
+		return nil, errors.New("adapt: no families to train on")
+	}
+	if fp == nil || fp.TrainX == nil || fp.TestX == nil {
+		return nil, errors.New("adapt: candidate training needs base train and test features")
+	}
+	if fp.Scaler == nil {
+		return nil, errors.New("adapt: feature pair carries no scaler (candidate must reuse the serving scaler)")
+	}
+	dim := fp.TrainX.Cols
+	numBase := len(o.BaseMeta.ClassNames)
+	if numBase == 0 {
+		for _, y := range fp.TrainY {
+			if y+1 > numBase {
+				numBase = y + 1
+			}
+		}
+	}
+	if o.Trees <= 0 {
+		o.Trees = 50
+	}
+	if o.Seed == 0 {
+		o.Seed = o.BaseMeta.Seed
+	}
+	if o.Tool == "" {
+		o.Tool = "adapt"
+	}
+
+	// Split each family into train and held-out rows, then assemble the
+	// widened matrices: base rows keep their labels, family i becomes class
+	// numBase+i.
+	trainRows, testRows := fp.TrainX.Rows, fp.TestX.Rows
+	var famTrain, famHeld int
+	for _, f := range fams {
+		if f.Rows == nil || f.Rows.Cols != dim {
+			return nil, fmt.Errorf("adapt: family %d rows have %d features, base has %d", f.ID, f.Rows.Cols, dim)
+		}
+		h := f.Rows.Rows / heldOutEvery
+		if h == 0 && f.Rows.Rows > 1 {
+			h = 1
+		}
+		famHeld += h
+		famTrain += f.Rows.Rows - h
+	}
+	trainX := mat.New(trainRows+famTrain, dim)
+	trainY := make([]int, 0, trainRows+famTrain)
+	copy(trainX.Data, fp.TrainX.Data)
+	trainY = append(trainY, fp.TrainY...)
+	heldX := mat.New(testRows+famHeld, dim)
+	copy(heldX.Data, fp.TestX.Data)
+
+	ti, hi := trainRows, testRows
+	for fi, f := range fams {
+		label := numBase + fi
+		for r := 0; r < f.Rows.Rows; r++ {
+			row := f.Rows.Row(r)
+			if r%heldOutEvery == heldOutEvery-1 && hi < heldX.Rows {
+				copy(heldX.Data[hi*dim:(hi+1)*dim], row)
+				hi++
+				continue
+			}
+			copy(trainX.Data[ti*dim:(ti+1)*dim], row)
+			trainY = append(trainY, label)
+			ti++
+		}
+	}
+	// Rounding drift between the size pre-pass and the modulo split can
+	// leave a row of slack; trim to what actually landed.
+	trainX = &mat.Matrix{Rows: ti, Cols: dim, Data: trainX.Data[:ti*dim]}
+	heldX = &mat.Matrix{Rows: hi, Cols: dim, Data: heldX.Data[:hi*dim]}
+
+	numClasses := numBase + len(fams)
+	f := forest.New(forest.Config{NumTrees: o.Trees, Bootstrap: true, Seed: o.Seed})
+	if err := f.Fit(trainX, trainY, numClasses); err != nil {
+		return nil, fmt.Errorf("adapt: fitting candidate forest: %w", err)
+	}
+
+	probs, err := f.PredictProbaBatch(heldX)
+	if err != nil {
+		return nil, fmt.Errorf("adapt: scoring held-out rows: %w", err)
+	}
+	// Base-split accuracy from the same probability rows (the first
+	// testRows held-out rows are the base test split, in order).
+	correct := 0
+	for i, y := range fp.TestY {
+		if mat.ArgMax(probs.Row(i)) == y {
+			correct++
+		}
+	}
+	acc := 0.0
+	if len(fp.TestY) > 0 {
+		acc = float64(correct) / float64(len(fp.TestY))
+	}
+
+	cal, err := drift.Fit(drift.FitInput{
+		Probs:           probs,
+		TrainFeatures:   trainX,
+		HeldOutFeatures: heldX,
+		RawSamples:      raw,
+	}, drift.Options{Quantile: o.Quantile, FeatQuantile: o.FeatQuantile})
+	if err != nil {
+		return nil, fmt.Errorf("adapt: calibrating candidate drift: %w", err)
+	}
+
+	meta := o.BaseMeta
+	meta.ClassNames = append(append([]string(nil), o.BaseMeta.ClassNames...), novelNames(o.BaseMeta.NovelClasses, len(fams))...)
+	meta.Accuracy = acc
+	meta.NovelClasses = o.BaseMeta.NovelClasses + len(fams)
+	meta.AdaptedFrom = fmt.Sprintf("%s/%d-class base", o.BaseMeta.Tool, numBase)
+	meta.CreatedUnix = time.Now().Unix()
+	meta.Tool = o.Tool
+	return &artifact.Artifact{Meta: meta, Scaler: fp.Scaler, Drift: cal, Model: f}, nil
+}
+
+// novelNames labels count new classes appended after start already-grown
+// novel classes. Numbering continues across generations: a base that
+// already grew novel classes keeps them and the new ones pick up where it
+// left off.
+func novelNames(start, count int) []string {
+	names := make([]string, count)
+	for i := range names {
+		names[i] = telemetry.NovelClassName(start + i)
+	}
+	return names
+}
+
+// ProvenanceTrainer is the production Trainer: it regenerates the base
+// training set from the serving artifact's recorded provenance (dataset
+// spec, scale, seed), re-embeds it with the serving scaler — never refits
+// one — and widens it with the clustered families. The caps must match the
+// original training run's; they are not recorded in the artifact, so
+// wccserve threads its own -max-train/-max-test flags through.
+type ProvenanceTrainer struct {
+	// Meta is the serving artifact's metadata (Dataset, Scale, Seed,
+	// ClassNames drive regeneration).
+	Meta artifact.Metadata
+	// Scaler is the serving scaler, reused verbatim.
+	Scaler *preprocess.StandardScaler
+	// MaxTrain and MaxTest cap the regenerated splits (0 = all).
+	MaxTrain, MaxTest int
+	// Trees sizes the candidate forest (default 50).
+	Trees int
+	// Quantile and FeatQuantile configure the refreshed calibration.
+	Quantile, FeatQuantile float64
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Train implements Trainer.
+func (t *ProvenanceTrainer) Train(fams []Family) (*artifact.Artifact, error) {
+	if t.Scaler == nil {
+		return nil, errors.New("adapt: provenance trainer needs the serving scaler")
+	}
+	spec, ok := dataset.SpecByName(t.Meta.Dataset)
+	if !ok {
+		return nil, fmt.Errorf("adapt: artifact provenance names unknown dataset %q", t.Meta.Dataset)
+	}
+	sim, err := telemetry.NewSimulator(telemetry.Config{Seed: t.Meta.Seed, Scale: t.Meta.Scale, GapRate: 1})
+	if err != nil {
+		return nil, err
+	}
+	p := core.PresetScaled()
+	p.Seed = t.Meta.Seed
+	p.MaxTrain = t.MaxTrain
+	p.MaxTest = t.MaxTest
+	t.logf("adapt: regenerating %s (scale %g, seed %d) for candidate training", t.Meta.Dataset, t.Meta.Scale, t.Meta.Seed)
+	ch, err := core.BuildDataset(sim, spec, p)
+	if err != nil {
+		return nil, err
+	}
+	fp, err := core.CovFeaturesWith(ch, t.Scaler)
+	if err != nil {
+		return nil, err
+	}
+	a, err := BuildCandidateArtifact(fp, core.RawSensorSamples(ch.Train.X), fams, CandidateOptions{
+		BaseMeta:     t.Meta,
+		Trees:        t.Trees,
+		Seed:         t.Meta.Seed,
+		Quantile:     t.Quantile,
+		FeatQuantile: t.FeatQuantile,
+		Tool:         "wccserve-adapt",
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.logf("adapt: candidate trained: %d classes (%d novel), base accuracy %.3f",
+		len(a.Meta.ClassNames), len(fams), a.Meta.Accuracy)
+	return a, nil
+}
+
+func (t *ProvenanceTrainer) logf(format string, args ...any) {
+	if t.Logf != nil {
+		t.Logf(format, args...)
+	}
+}
+
+// familiesFile is the JSON wire form of an exported family set, served on
+// GET /v1/adapt/families and consumed by `wcctrain -families`.
+type familiesFile struct {
+	FeatureDim int          `json:"feature_dim"`
+	Families   []familyJSON `json:"families"`
+}
+
+type familyJSON struct {
+	ID       int         `json:"id"`
+	Count    int         `json:"count"`
+	Centroid []float64   `json:"centroid"`
+	Rows     [][]float64 `json:"rows"`
+}
+
+// EncodeFamilies writes the family set as JSON, full member rows included,
+// so an offline `wcctrain -families` run can rebuild the exact candidate
+// the in-process flywheel would.
+func EncodeFamilies(w io.Writer, fams []Family) error {
+	out := familiesFile{Families: make([]familyJSON, len(fams))}
+	for i, f := range fams {
+		if f.Rows != nil {
+			out.FeatureDim = f.Rows.Cols
+		}
+		fj := familyJSON{ID: f.ID, Count: f.Count, Centroid: f.Centroid}
+		if f.Rows != nil {
+			fj.Rows = make([][]float64, f.Rows.Rows)
+			for r := range fj.Rows {
+				fj.Rows[r] = append([]float64(nil), f.Rows.Row(r)...)
+			}
+		}
+		out.Families[i] = fj
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// DecodeFamilies reads a family set written by EncodeFamilies.
+func DecodeFamilies(r io.Reader) ([]Family, error) {
+	var in familiesFile
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("adapt: decoding families: %w", err)
+	}
+	fams := make([]Family, 0, len(in.Families))
+	for _, fj := range in.Families {
+		f := Family{ID: fj.ID, Count: fj.Count, Centroid: fj.Centroid}
+		if len(fj.Rows) > 0 {
+			dim := len(fj.Rows[0])
+			if in.FeatureDim > 0 && dim != in.FeatureDim {
+				return nil, fmt.Errorf("adapt: family %d rows have %d features, header says %d", fj.ID, dim, in.FeatureDim)
+			}
+			f.Rows = mat.New(len(fj.Rows), dim)
+			for r, row := range fj.Rows {
+				if len(row) != dim {
+					return nil, fmt.Errorf("adapt: family %d row %d has %d features, want %d", fj.ID, r, len(row), dim)
+				}
+				copy(f.Rows.Data[r*dim:(r+1)*dim], row)
+			}
+			f.Count = len(fj.Rows)
+		}
+		fams = append(fams, f)
+	}
+	return fams, nil
+}

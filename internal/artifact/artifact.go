@@ -110,6 +110,15 @@ type Metadata struct {
 	Seed    int64   `json:"seed,omitempty"`
 	// Accuracy is the held-out test accuracy measured at training time.
 	Accuracy float64 `json:"accuracy,omitempty"`
+	// NovelClasses counts the classes appended by the continual-learning
+	// flywheel (internal/adapt); the last NovelClasses entries of
+	// ClassNames are adapt-discovered families, zero for offline-trained
+	// artifacts. The field is additive JSON, so older readers ignore it.
+	NovelClasses int `json:"novel_classes,omitempty"`
+	// AdaptedFrom records what a flywheel candidate grew from — the
+	// producing tool plus the base artifact's class count — tying a
+	// promoted model to its lineage.
+	AdaptedFrom string `json:"adapted_from,omitempty"`
 	// CreatedUnix is the artifact creation time (seconds since epoch).
 	CreatedUnix int64 `json:"created_unix,omitempty"`
 	// Tool names the producer (e.g. "wcctrain").

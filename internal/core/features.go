@@ -74,6 +74,34 @@ func CovFeatures(ch *dataset.Challenge) (*FeaturePair, error) {
 	return &FeaturePair{TrainX: trainF, TrainY: ch.Train.Y, TestX: testF, TestY: ch.Test.Y, Scaler: scaler}, nil
 }
 
+// CovFeaturesWith runs the covariance pipeline against an already-fitted
+// scaler instead of refitting one on the challenge's training split. The
+// continual-learning retrain path (internal/adapt) uses it so a candidate
+// artifact carries byte-identical scaler statistics to the serving fleet's:
+// the hot-swap compatibility gate compares scalers (server.ServableModel),
+// and buffered unknown windows were embedded by the serving scaler — a
+// refitted one would shift every feature they are clustered and trained in.
+func CovFeaturesWith(ch *dataset.Challenge, scaler *preprocess.StandardScaler) (*FeaturePair, error) {
+	trainZ, err := scaler.Transform(ch.Train.X.Flatten())
+	if err != nil {
+		return nil, err
+	}
+	testZ, err := scaler.Transform(ch.Test.X.Flatten())
+	if err != nil {
+		return nil, err
+	}
+	t, c := ch.Train.X.T, ch.Train.X.C
+	trainF, err := preprocess.CovarianceEmbed(trainZ, t, c)
+	if err != nil {
+		return nil, err
+	}
+	testF, err := preprocess.CovarianceEmbed(testZ, t, c)
+	if err != nil {
+		return nil, err
+	}
+	return &FeaturePair{TrainX: trainF, TrainY: ch.Train.Y, TestX: testF, TestY: ch.Test.Y, Scaler: scaler}, nil
+}
+
 // PCAFeatures runs the paper's PCA pipeline at the given dimension:
 // standardise the flattened trials, fit PCA on the training split, project
 // both splits.

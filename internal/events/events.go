@@ -61,12 +61,19 @@ const (
 	// orchestrating node. Per-node model installs still publish TypeSwap on
 	// each node's own bus; TypeClusterSwap narrates the cross-node protocol.
 	TypeClusterSwap Type = "cluster_swap"
+	// TypeAdapt fires as the continual-learning flywheel advances through
+	// its lifecycle (see internal/adapt): a candidate model built from
+	// clustered unknown traffic ("candidate"), shadow scoring starting
+	// ("shadow"), the candidate promoted into serving ("promoted"), or the
+	// attempt abandoned ("aborted"). The promotion itself still installs
+	// through the swap path and publishes TypeSwap.
+	TypeAdapt Type = "adapt"
 )
 
 // Types lists every event type the serving plane emits, in the order the
 // documentation presents them.
 func Types() []Type {
-	return []Type{TypePrediction, TypeUnknown, TypeDrift, TypeSwap, TypeShardHealth, TypeMembership, TypeClusterSwap}
+	return []Type{TypePrediction, TypeUnknown, TypeDrift, TypeSwap, TypeShardHealth, TypeMembership, TypeClusterSwap, TypeAdapt}
 }
 
 // Event is one moment on the bus. Seq, Gen, Type and TimeUnixMS are always
@@ -112,7 +119,9 @@ type Event struct {
 	// Node and Phase describe cluster events: Node is the peer a membership
 	// event speaks about (or the node a cluster-swap phase just covered),
 	// Phase is the rolling-swap phase reached ("replicated", "prepared",
-	// "committed", "aborted").
+	// "committed", "aborted"). Adapt events reuse Phase for the lifecycle
+	// step reached ("candidate", "shadow", "promoted", "aborted") and Model
+	// for the candidate artifact description.
 	Node  *int   `json:"node,omitempty"`
 	Phase string `json:"phase,omitempty"`
 }

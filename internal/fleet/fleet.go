@@ -67,6 +67,30 @@ type BatchClassifier interface {
 	PredictProbaBatch(x *mat.Matrix) (*mat.Matrix, error)
 }
 
+// Observation is one scored window handed to an attached adapt observer at
+// tick write-back: the serving verdict plus the exact feature row the model
+// consumed. Features is borrowed from the tick's batch matrix — an observer
+// that retains it past the call must copy. Gen counts completed model swaps
+// at scoring time, so an observer can discard windows scored by an older
+// generation after a promotion.
+type Observation struct {
+	Job      int
+	Class    int
+	Rejected bool // open-set verdict (always false when drift is disabled)
+	Gen      uint64
+	Features []float64 // borrowed; valid only for the duration of the call
+}
+
+// Observer receives every scored window from tick write-back — the feed the
+// continual-learning flywheel (internal/adapt) buffers rejected windows and
+// shadow-scores candidates from. Calls happen under the tick mutex, so an
+// implementation must be bounded pure compute: no blocking operations, no
+// calls back into the Monitor, and the same non-blocking discipline the
+// events bus pins. Observing never alters a prediction bit.
+type Observer interface {
+	ObserveWindow(o Observation)
+}
+
 // Config sizes a fleet monitor.
 type Config struct {
 	// Window and Sensors give the per-job sliding-window shape (the
@@ -143,8 +167,12 @@ type Monitor struct {
 	// evs and tracer are the optional observability plane, both guarded by
 	// tickMu (everything that reads them — ticks and swaps — already holds
 	// it). nil means disabled; neither influences a single prediction bit.
-	evs      events.Sink
-	tracer   *trace.Recorder
+	evs    events.Sink
+	tracer *trace.Recorder
+	// obs is the optional adapt observer (nil = detached), guarded by tickMu
+	// like the sinks above; it sees every scored window but never a
+	// prediction's fate.
+	obs      Observer
 	samples  atomic.Uint64
 	ticks    atomic.Uint64
 	classed  atomic.Uint64
@@ -384,6 +412,17 @@ func (m *Monitor) Tick() (TickStats, error) {
 			c.js.dirty = false
 		}
 		c.js.home.mu.Unlock()
+		// Adapt observation, outside the job lock like event emission below:
+		// the observer sees the verdict and the very feature row the model
+		// consumed (borrowed — it copies what it keeps), and can never touch
+		// the prediction already published above.
+		if m.obs != nil {
+			rejected := pred.Open != nil && pred.Open.Rejected
+			m.obs.ObserveWindow(Observation{
+				Job: c.js.id, Class: pred.Class, Rejected: rejected,
+				Gen: m.swaps.Load(), Features: x.Row(i),
+			})
+		}
 		// Push-plane emission, outside the job lock and after the prediction
 		// has published: a stalled subscriber can therefore never delay
 		// write-back, and enabling events changes no prediction bit. Only
@@ -500,6 +539,17 @@ func (m *Monitor) publishSwap(model stream.Classifier) {
 func (m *Monitor) SetEventSink(s events.Sink) {
 	m.tickMu.Lock()
 	m.evs = s
+	m.tickMu.Unlock()
+}
+
+// SetAdaptObserver attaches the continual-learning feed: from the next tick
+// on, every scored window is handed to obs at write-back (nil detaches).
+// The observer runs under the tick mutex and must follow the Observer
+// contract — bounded compute, never blocking — and cannot alter a
+// prediction; TestAdaptEquivalenceBitIdentical (internal/adapt) pins that.
+func (m *Monitor) SetAdaptObserver(obs Observer) {
+	m.tickMu.Lock()
+	m.obs = obs
 	m.tickMu.Unlock()
 }
 

@@ -83,6 +83,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("wcc_classifications_per_second", "Classification rate over the interval since the previous scrape.", classRate)
 	gauge("wcc_uptime_seconds", "Seconds since the serving layer started.", time.Since(s.start).Seconds())
 
+	if s.cfg.Adapt != nil {
+		s.writeAdaptMetrics(w, counter, gauge)
+	}
+
 	es := s.bus.Stats()
 	counter("wcc_events_published_total", "Events published on the push-plane bus.", es.Published)
 	counter("wcc_events_dropped_total", "Events a subscriber missed because its queue was full.", es.Dropped)
@@ -100,6 +104,46 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.sharded != nil {
 		s.writeShardMetrics(w)
 	}
+}
+
+// writeAdaptMetrics renders the continual-learning flywheel's state: the
+// lifecycle phase as a one-hot labelled gauge (so dashboards can plot the
+// state machine), buffer/family/candidate gauges, shadow-scoring evidence,
+// and the promotion/abort counters.
+func (s *Server) writeAdaptMetrics(w http.ResponseWriter, counter func(name, help string, v uint64), gauge func(name, help string, v float64)) {
+	st := s.cfg.Adapt.Status()
+
+	fmt.Fprintf(w, "# HELP wcc_adapt_phase Flywheel lifecycle phase (one-hot: buffer, train, shadow, promoted, aborted).\n# TYPE wcc_adapt_phase gauge\n")
+	for _, p := range []string{"buffer", "train", "shadow", "promoted", "aborted"} {
+		v := 0
+		if string(st.Phase) == p {
+			v = 1
+		}
+		fmt.Fprintf(w, "wcc_adapt_phase{phase=%q} %d\n", p, v)
+	}
+	counter("wcc_adapt_observed_windows_total", "Live windows observed by the flywheel.", st.Observed)
+	gauge("wcc_adapt_buffered", "Rejected windows currently in the reservoir.", float64(st.Buffered))
+	gauge("wcc_adapt_buffer_capacity", "Reservoir capacity.", float64(st.BufferedCap))
+	counter("wcc_adapt_buffer_dropped_total", "Rejected windows reservoir-sampled away after the buffer filled.", st.Dropped)
+	gauge("wcc_adapt_families", "Candidate new-workload families from the last clustering pass.", float64(len(st.Families)))
+	if st.Candidate != nil {
+		gauge("wcc_adapt_candidate_classes", "Classes in the candidate model (base plus novel).", float64(st.Candidate.Classes))
+		gauge("wcc_adapt_candidate_novel_classes", "Novel classes the candidate adds.", float64(st.Candidate.Novel))
+	}
+	if st.Shadow != nil {
+		counter("wcc_adapt_shadow_windows_total", "Live windows shadow-scored by the candidate.", st.Shadow.Windows)
+		counter("wcc_adapt_shadow_compared_total", "Serving-accepted windows in the agreement denominator.", st.Shadow.Compared)
+		gauge("wcc_adapt_shadow_agreement", "Candidate/serving class agreement on accepted windows.", st.Shadow.Agreement)
+		gauge("wcc_adapt_serving_unknown_rate", "Serving model's rejected fraction of shadow-scored windows.", st.Shadow.ServingUnknownRate)
+		gauge("wcc_adapt_candidate_unknown_rate", "Candidate model's rejected fraction of shadow-scored windows.", st.Shadow.CandidateUnknownRate)
+	}
+	gateReady := 0.0
+	if st.GateReady {
+		gateReady = 1
+	}
+	gauge("wcc_adapt_gate_ready", "1 when the shadow candidate passes the promotion quality gate.", gateReady)
+	counter("wcc_adapt_promotions_total", "Candidates promoted into serving.", st.Promotions)
+	counter("wcc_adapt_aborts_total", "Candidates discarded by operator abort.", st.Aborts)
 }
 
 // writeStageMetrics renders the per-stage serving-latency histograms as

@@ -31,6 +31,16 @@
 //	GET    /v1/drift                open-set and input-drift state: unknown
 //	                                counts and per-sensor PSI against the
 //	                                training reference
+//	GET    /v1/adapt                continual-learning flywheel status:
+//	                                lifecycle phase, rejected-window buffer,
+//	                                candidate families, shadow-scoring stats
+//	GET    /v1/adapt/families       clustered rejected-window families as a
+//	                                portable JSON bundle (wcctrain -families)
+//	POST   /v1/adapt/build          force a cluster+train pass now instead of
+//	                                waiting for the background cadence
+//	POST   /v1/adapt/promote        promote the shadow candidate regardless
+//	                                of the quality gate
+//	POST   /v1/adapt/abort          discard the candidate and rebuffer
 //	GET    /v1/events               push plane: Server-Sent Events stream of
 //	                                prediction-change, unknown-verdict,
 //	                                drift-band, model-swap and shard-health
@@ -64,6 +74,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/drift"
 	"repro/internal/events"
 	"repro/internal/fleet"
@@ -168,6 +179,12 @@ type Config struct {
 	// measurement (see fleet.Config.Now for the same knob on the monitor);
 	// nil means time.Now.
 	Now func() time.Time
+	// Adapt, when non-nil, is the continual-learning flywheel the /v1/adapt
+	// routes drive. The server only reads it — wiring the manager into the
+	// monitor (SetAdaptObserver) and running its background loop is the
+	// caller's job, because the promotion hook usually closes over the
+	// caller's model path and watcher.
+	Adapt *adapt.Manager
 
 	// testHook, when non-nil, runs at the top of every worker batch —
 	// tests use it to hold workers and fill the queue deterministically.
@@ -232,6 +249,12 @@ type Server struct {
 	lastScrape  time.Time
 	lastSamples uint64
 	lastClassed uint64
+
+	// namesMu guards classNames, which starts as Config.ClassNames and can
+	// be replaced at runtime (SetClassNames) when an adapt promotion widens
+	// the class set.
+	namesMu    sync.RWMutex
+	classNames []string
 }
 
 type ingestBatch struct {
@@ -306,6 +329,7 @@ func New(cfg Config) (*Server, error) {
 		bus:         cfg.Events,
 		tracer:      trace.NewRecorder(),
 		streamsStop: make(chan struct{}),
+		classNames:  cfg.ClassNames,
 	}
 	s.m.SetEventSink(s.bus)
 	s.m.SetTraceRecorder(s.tracer)
@@ -321,6 +345,11 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/prediction", s.handlePrediction)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleEndJob)
 	s.mux.HandleFunc("GET /v1/drift", s.handleDrift)
+	s.mux.HandleFunc("GET /v1/adapt", s.handleAdapt)
+	s.mux.HandleFunc("GET /v1/adapt/families", s.handleAdaptFamilies)
+	s.mux.HandleFunc("POST /v1/adapt/build", s.handleAdaptBuild)
+	s.mux.HandleFunc("POST /v1/adapt/promote", s.handleAdaptPromote)
+	s.mux.HandleFunc("POST /v1/adapt/abort", s.handleAdaptAbort)
 	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -686,8 +715,10 @@ type predictionResponse struct {
 }
 
 func (s *Server) className(class int) string {
-	if class >= 0 && class < len(s.cfg.ClassNames) {
-		return s.cfg.ClassNames[class]
+	s.namesMu.RLock()
+	defer s.namesMu.RUnlock()
+	if class >= 0 && class < len(s.classNames) {
+		return s.classNames[class]
 	}
 	return ""
 }
@@ -852,7 +883,7 @@ func (s *Server) Health() HealthResponse {
 		Sensors:       s.m.Sensors(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		LastTickError: lastErr,
-		Classes:       s.cfg.ClassNames,
+		Classes:       s.ClassNames(),
 	}
 	if s.sharded != nil {
 		resp.Shards = s.sharded.NumShards()

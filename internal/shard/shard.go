@@ -345,6 +345,20 @@ func (c *Core) SetEventSink(s events.Sink) {
 	}
 }
 
+// SetAdaptObserver threads one continual-learning observer through every
+// shard's tick write-back (nil detaches): the observer sees every scored
+// window fleet-wide, tagged with the shard monitor's swap generation. The
+// observer must be concurrency-safe — shards ticking in parallel call it
+// concurrently — on top of the fleet.Observer contract (bounded compute,
+// never blocking, never altering a prediction).
+func (c *Core) SetAdaptObserver(obs fleet.Observer) {
+	c.swapMu.Lock()
+	defer c.swapMu.Unlock()
+	for _, m := range c.monitors {
+		m.SetAdaptObserver(obs)
+	}
+}
+
 // SetTraceRecorder threads one span recorder through every shard's tick
 // path; the recorder is concurrency-safe, so shards ticking in parallel
 // feed the same stage histograms. nil detaches.

@@ -44,6 +44,14 @@ const (
 	numUnknownKinds
 )
 
+// NovelClassName labels the i-th class discovered by the continual-learning
+// flywheel (internal/adapt): promoted candidates append these names after
+// the trained family names in an artifact's ClassNames, so operators can
+// tell a grown class from a Table I family at a glance.
+func NovelClassName(i int) string {
+	return fmt.Sprintf("novel-%d", i)
+}
+
 // unknownProfile draws one out-of-distribution profile realisation.
 func unknownProfile(rng *rand.Rand) Profile {
 	switch rng.Intn(numUnknownKinds) {
